@@ -1,0 +1,303 @@
+(* Micro-benchmarks: one Bechamel test per experiment id of DESIGN.md,
+   plus the ablations DESIGN.md calls out (list-based vs bitmask
+   quorum checks, 2PL vs MVTO vs no-CC).
+
+   Absolute numbers depend on the host; the benches exist to (a) keep
+   every hot path exercised and regression-visible, and (b) regenerate
+   the per-experiment timing columns of EXPERIMENTS.md. *)
+
+open Bechamel
+open Toolkit
+open Ioa
+module Prng = Qc_util.Prng
+
+(* ---------- fixtures (built once, outside the staged closures) ---------- *)
+
+let fixture_seed = 1234
+
+let quorum_description =
+  let rng = Prng.create fixture_seed in
+  Quorum.Gen.description rng
+
+let quorum_schedule =
+  (Quorum.Harness.run_b ~seed:fixture_seed quorum_description).System.schedule
+
+let recon_description =
+  let rng = Prng.create fixture_seed in
+  Recon.Gen.description rng
+
+let recon_schedule =
+  (Recon.Harness.run ~seed:fixture_seed recon_description).System.schedule
+
+let cc_description =
+  let rng = Prng.create fixture_seed in
+  Cc.Harness.concurrent_root rng (Quorum.Gen.description rng) ~extra_tops:3
+
+let dms7 = List.init 7 (fun i -> Fmt.str "d%d" i)
+let majority7 = Quorum.Config.majority dms7
+let majority7_mask = Store.Strategy.majority 7
+
+let scheduler_state =
+  (* a scheduler mid-flight, for stepping *)
+  let open Serial.Scheduler in
+  let st = initial_state in
+  let st = Option.get (transition st (Action.Create Txn.root)) in
+  Option.get (transition st (Action.Request_create [ Txn.Seg "t" ]))
+
+(* ---------- the tests ---------- *)
+
+let t_f1_build_system_b =
+  Test.make ~name:"F1 build system B"
+    (Staged.stage (fun () -> Quorum.System_b.build quorum_description))
+
+let t_f2_build_system_a =
+  Test.make ~name:"F2 build system A"
+    (Staged.stage (fun () -> Quorum.System_a.build quorum_description))
+
+let t_e5_wellformed =
+  Test.make ~name:"E5 well-formedness check"
+    (Staged.stage (fun () ->
+         Quorum.System_b.check_wellformed quorum_description quorum_schedule))
+
+let t_e7_e8_invariants =
+  Test.make ~name:"E7-E8 invariant check"
+    (Staged.stage (fun () ->
+         Quorum.Invariants.check quorum_description quorum_schedule))
+
+let t_e10_simulation =
+  Test.make ~name:"E10 Theorem 10 simulation"
+    (Staged.stage (fun () ->
+         Quorum.Simulation.check quorum_description quorum_schedule))
+
+let t_e12_recon_invariants =
+  Test.make ~name:"E12 recon invariant check"
+    (Staged.stage (fun () ->
+         Recon.Invariants.check recon_description recon_schedule))
+
+let t_e12_recon_simulation =
+  Test.make ~name:"E12 recon simulation"
+    (Staged.stage (fun () ->
+         Recon.Simulation.check recon_description recon_schedule))
+
+let t_scheduler_step =
+  Test.make ~name:"serial scheduler step"
+    (Staged.stage (fun () ->
+         Serial.Scheduler.transition scheduler_state
+           (Action.Create [ Txn.Seg "t" ])))
+
+let t_run_system_b =
+  Test.make ~name:"drive system B to quiescence"
+    (Staged.stage (fun () ->
+         Quorum.Harness.run_b ~seed:fixture_seed quorum_description))
+
+let t_run_recon =
+  Test.make ~name:"drive recon system to quiescence"
+    (Staged.stage (fun () ->
+         Recon.Harness.run ~seed:fixture_seed recon_description))
+
+(* ablation: list-of-quorums coverage vs bitmask coverage *)
+let t_ablate_config_lists =
+  Test.make ~name:"ablation: quorum coverage (lists)"
+    (Staged.stage (fun () ->
+         Quorum.Config.read_covered majority7 [ "d1"; "d3"; "d5"; "d6" ]))
+
+let t_ablate_config_bitmask =
+  Test.make ~name:"ablation: quorum coverage (bitmask)"
+    (Staged.stage (fun () -> majority7_mask.Store.Strategy.read_ok 0b1101010))
+
+let t_config_legal =
+  Test.make ~name:"configuration legality (majority-7)"
+    (Staged.stage (fun () -> Quorum.Config.legal majority7))
+
+let t_availability_analytic =
+  Test.make ~name:"Q1 analytic availability (n=7)"
+    (Staged.stage (fun () ->
+         Store.Strategy.availability majority7_mask ~p:0.9))
+
+(* ablation: the three concurrency-control modes on the same input *)
+let cc_bench mode name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Cc.Engine.run
+           (Cc.Engine.create ~abort_rate:0.01 ~mode ~seed:fixture_seed
+              cc_description)))
+
+let t_cc_2pl = cc_bench `TwoPL "E11 concurrent run (2PL)"
+let t_cc_mvto = cc_bench `Mvto "E11 concurrent run (MVTO)"
+let t_cc_nocc = cc_bench `NoCC "ablation: concurrent run (no CC)"
+
+let t_locks_cycle =
+  Test.make ~name:"2PL acquire-commit cycle"
+    (Staged.stage (fun () ->
+         let l = Cc.Locks.create () in
+         let who : Txn.t = [ Txn.Seg "t" ] in
+         ignore
+           (Cc.Locks.try_write l ~obj:"o" ~initial:Value.Nil ~who (Value.Int 1));
+         Cc.Locks.commit l who))
+
+let t_mvto_cycle =
+  Test.make ~name:"MVTO write-commit cycle"
+    (Staged.stage (fun () ->
+         let m = Cc.Mvto.create () in
+         let who : Txn.t = [ Txn.Seg "t" ] in
+         ignore
+           (Cc.Mvto.try_write m ~obj:"o" ~initial:Value.Nil ~who (Value.Int 1));
+         Cc.Mvto.commit m who))
+
+let t_sim_events =
+  Test.make ~name:"simulator: 10k timer events"
+    (Staged.stage (fun () ->
+         let sim = Sim.Core.create ~seed:1 in
+         let rec chain n =
+           if n > 0 then
+             Sim.Core.schedule sim ~delay:1.0 (fun () -> chain (n - 1))
+         in
+         chain 10_000;
+         Sim.Core.run sim))
+
+let t_store_ops =
+  Test.make ~name:"Q2 store: small cluster run"
+    (Staged.stage (fun () ->
+         Store.Cluster.run
+           {
+             Store.Cluster.default_params with
+             workload = { Store.Workload.default_spec with ops_per_client = 25 };
+             seed = fixture_seed;
+           }))
+
+let t_exhaustive =
+  (* exhaustive verification of a small instance: all abort-free
+     schedules of the 2-DM majority write+read system *)
+  let item =
+    Quorum.Item.make ~name:"x" ~dms:[ "d0"; "d1" ]
+      ~config:(Quorum.Config.majority [ "d0"; "d1" ])
+      ~initial:(Value.Int 0)
+  in
+  let d =
+    {
+      Quorum.Description.items = [ item ];
+      raw_objects = [];
+      root_script =
+        {
+          Serial.User_txn.children =
+            [
+              Serial.User_txn.Sub
+                ( "t",
+                  {
+                    Serial.User_txn.children =
+                      [
+                        Serial.User_txn.Access_child
+                          (Txn.Access
+                             { obj = "x"; kind = Txn.Write; data = Value.Int 1; seq = 0 });
+                      ];
+                    ordered = true;
+                    eager = false;
+                    returns = Serial.User_txn.return_all;
+                  } );
+            ];
+          ordered = true;
+          eager = false;
+          returns = Serial.User_txn.return_nil;
+        };
+    }
+  in
+  Test.make ~name:"EX exhaustive walk (small instance)"
+    (Staged.stage (fun () -> Quorum.Explore.check_description d))
+
+let t_adt_merge =
+  let entries k =
+    List.init k (fun i ->
+        {
+          Adt.Replica.ts = { Adt.Timestamp.time = i; client = "c"; seq = i };
+          op = Adt.Spec.Inc 1;
+        })
+  in
+  let a = entries 100 in
+  let b =
+    List.map
+      (fun (e : Adt.Replica.entry) ->
+        { e with Adt.Replica.ts = { e.Adt.Replica.ts with Adt.Timestamp.client = "d" } })
+      a
+  in
+  Test.make ~name:"E13 ADT log merge (2x100 entries)"
+    (Staged.stage (fun () -> Adt.Replica.merge a b))
+
+let t_adt_replay =
+  let ops = List.init 200 (fun _ -> Adt.Spec.Inc 1) in
+  Test.make ~name:"E13 ADT replay (200 ops)"
+    (Staged.stage (fun () -> Adt.Spec.replay ops))
+
+let t_vp_view_change =
+  Test.make ~name:"E14 VP state merge (5 replicas, 64 keys)"
+    (Staged.stage
+       (let states =
+          List.init 5 (fun r ->
+              List.init 64 (fun k -> (Fmt.str "k%d" k, (r, r * 10))))
+        in
+        fun () -> Vp.Manager.merge_states states))
+
+let tests =
+  Test.make_grouped ~name:"quorum_nested"
+    [
+      t_f1_build_system_b;
+      t_f2_build_system_a;
+      t_e5_wellformed;
+      t_e7_e8_invariants;
+      t_e10_simulation;
+      t_e12_recon_invariants;
+      t_e12_recon_simulation;
+      t_scheduler_step;
+      t_run_system_b;
+      t_run_recon;
+      t_ablate_config_lists;
+      t_ablate_config_bitmask;
+      t_config_legal;
+      t_availability_analytic;
+      t_cc_2pl;
+      t_cc_mvto;
+      t_cc_nocc;
+      t_locks_cycle;
+      t_mvto_cycle;
+      t_sim_events;
+      t_store_ops;
+      t_exhaustive;
+      t_adt_merge;
+      t_adt_replay;
+      t_vp_view_change;
+    ]
+
+(* ---------- runner ---------- *)
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let () =
+  let results = benchmark () in
+  Fmt.pr "%-55s %18s@." "benchmark" "ns/run";
+  Fmt.pr "%s@." (String.make 74 '-');
+  let clock = Measure.label Instance.monotonic_clock in
+  match Hashtbl.find_opt results clock with
+  | None -> Fmt.pr "no results@."
+  | Some tbl ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> (name, est) :: acc
+            | Some _ | None -> (name, nan) :: acc)
+          tbl []
+      in
+      List.iter
+        (fun (name, est) -> Fmt.pr "%-55s %18.1f@." name est)
+        (List.sort compare rows)

@@ -1,0 +1,79 @@
+(* General Quorum Consensus for abstract data types (the paper's §5
+   extension target, Herlihy [12]): a replicated counter and a
+   replicated FIFO queue as timestamped operation logs with
+   per-operation quorums.
+
+   The point on display: counter increments and enqueues are BLIND
+   mutators — they need no read round at all, just one push to a write
+   quorum — and they commute, so concurrent clients lose nothing.
+
+   Run with:  dune exec examples/adt_counter.exe *)
+
+module Core = Sim.Core
+module Net = Sim.Net
+
+let () =
+  let sim = Core.create ~seed:15 in
+  let replica_names = List.init 5 (fun i -> Fmt.str "r%d" i) in
+  let clients = [ "alice"; "bob" ] in
+  let net =
+    Net.create ~sim
+      ~nodes:(replica_names @ clients)
+      ~latency:(Net.lognormal_latency ~mu:1.0 ~sigma:0.5)
+      ()
+  in
+  let replicas = List.map (fun name -> Adt.Replica.create ~name) replica_names in
+  List.iter (fun r -> Adt.Replica.attach r ~net) replicas;
+  let mk name =
+    let c =
+      Adt.Client.create ~name ~sim ~net
+        ~replicas:(Array.of_list replica_names)
+        ~strategy:(Store.Strategy.majority 5)
+        ()
+    in
+    Adt.Client.attach c;
+    c
+  in
+  let alice = mk "alice" and bob = mk "bob" in
+
+  (* two clients racing increments on a shared counter *)
+  let done_incs = ref 0 in
+  let fire client n =
+    for _ = 1 to n do
+      Adt.Client.execute client ~key:"hits" ~op:(Adt.Spec.Inc 1)
+        ~on_done:(fun ~ok ~result:_ ~latency:_ -> if ok then incr done_incs)
+    done
+  in
+  fire alice 50;
+  fire bob 50;
+  Core.run sim;
+  Fmt.pr "increments completed: %d@." !done_incs;
+  Adt.Client.execute alice ~key:"hits" ~op:Adt.Spec.Total
+    ~on_done:(fun ~ok ~result ~latency ->
+      match (ok, result) with
+      | true, Adt.Spec.Value total ->
+          Fmt.pr "observed total: %d (latency %.2f) — nothing lost@." total
+            latency;
+          assert (total = !done_incs)
+      | _ -> Fmt.pr "observation failed@.");
+  Core.run sim;
+
+  (* a replicated work queue: alice enqueues jobs, bob drains them *)
+  List.iter
+    (fun job ->
+      Adt.Client.execute alice ~key:"jobs" ~op:(Adt.Spec.Enq job)
+        ~on_done:(fun ~ok:_ ~result:_ ~latency:_ -> ()))
+    [ 101; 102; 103 ];
+  Core.run sim;
+  let rec drain () =
+    Adt.Client.execute bob ~key:"jobs" ~op:Adt.Spec.Deq
+      ~on_done:(fun ~ok ~result ~latency:_ ->
+        match (ok, result) with
+        | true, Adt.Spec.Value job ->
+            Fmt.pr "bob dequeued job %d@." job;
+            drain ()
+        | true, Adt.Spec.Empty -> Fmt.pr "queue drained@."
+        | _ -> Fmt.pr "dequeue failed@.")
+  in
+  drain ();
+  Core.run sim

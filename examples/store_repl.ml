@@ -1,0 +1,120 @@
+(* A driveable replicated-store shell: five simulated replicas under
+   majority quorums, controlled by commands on stdin.  Useful for
+   poking at quorum behaviour by hand (or from a script).
+
+     put KEY INT        quorum write
+     get KEY            quorum read
+     crash NODE         e.g. crash r3
+     recover NODE
+     cut A B            cut the link between two nodes
+     heal A B
+     dump               print every replica's stored state
+     stats              ops / network counters
+     help | quit
+
+   Example:
+     printf 'put a 1\ncrash r0\ncrash r1\nput a 2\nget a\nquit\n' \
+       | dune exec examples/store_repl.exe *)
+
+module Core = Sim.Core
+module Net = Sim.Net
+
+let () =
+  let sim = Core.create ~seed:7 in
+  let replica_names = List.init 5 (fun i -> Fmt.str "r%d" i) in
+  let net =
+    Net.create ~sim
+      ~nodes:(replica_names @ [ "client" ])
+      ~latency:(Net.lognormal_latency ~mu:0.7 ~sigma:0.4)
+      ()
+  in
+  let replicas = List.map (fun name -> Store.Replica.create ~name) replica_names in
+  List.iter (fun r -> Store.Replica.attach r ~net) replicas;
+  let client =
+    Store.Client.create ~name:"client" ~sim ~net
+      ~replicas:(Array.of_list replica_names)
+      ~strategy:(Store.Strategy.majority 5)
+      ~timeout:50.0 ~read_repair:true ()
+  in
+  Store.Client.attach client;
+  Fmt.pr "replicated store: 5 replicas, majority quorums, read repair on.@.";
+  Fmt.pr "type 'help' for commands.@.";
+  let run_op f =
+    f ();
+    (* drive the simulation until the operation resolves *)
+    Core.run sim
+  in
+  let rec loop () =
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "" ] -> loop ()
+        | [ "quit" ] | [ "exit" ] -> Fmt.pr "bye.@."
+        | [ "help" ] ->
+            Fmt.pr
+              "put KEY INT | get KEY | crash NODE | recover NODE | cut A B | \
+               heal A B | dump | stats | quit@.";
+            loop ()
+        | [ "put"; key; v ] ->
+            (match int_of_string_opt v with
+            | None -> Fmt.pr "value must be an integer@."
+            | Some value ->
+                run_op (fun () ->
+                    Store.Client.write client ~key ~value
+                      ~on_done:(fun ~ok ~vn ~value:_ ~latency ->
+                        if ok then
+                          Fmt.pr "OK  %s := %d (version %d, %.1f time units)@."
+                            key value vn latency
+                        else Fmt.pr "FAIL %s := %d (no write quorum)@." key value)));
+            loop ()
+        | [ "get"; key ] ->
+            run_op (fun () ->
+                Store.Client.read client ~key
+                  ~on_done:(fun ~ok ~vn ~value ~latency ->
+                    if ok then
+                      Fmt.pr "OK  %s = %d (version %d, %.1f time units)@." key
+                        value vn latency
+                    else Fmt.pr "FAIL %s (no read quorum)@." key));
+            loop ()
+        | [ "crash"; node ] ->
+            Net.crash net node;
+            Fmt.pr "crashed %s@." node;
+            loop ()
+        | [ "recover"; node ] ->
+            Net.recover net node;
+            Fmt.pr "recovered %s@." node;
+            loop ()
+        | [ "cut"; a; b ] ->
+            Net.cut_link net a b;
+            Fmt.pr "cut %s <-> %s@." a b;
+            loop ()
+        | [ "heal"; a; b ] ->
+            Net.heal_link net a b;
+            Fmt.pr "healed %s <-> %s@." a b;
+            loop ()
+        | [ "dump" ] ->
+            List.iter
+              (fun (r : Store.Replica.t) ->
+                let state =
+                  Hashtbl.fold
+                    (fun k (vn, v) acc -> Fmt.str "%s=<%d,%d>" k vn v :: acc)
+                    r.Store.Replica.data []
+                in
+                Fmt.pr "%-4s %s %s@." r.Store.Replica.name
+                  (if Net.is_up net r.Store.Replica.name then "up  " else "DOWN")
+                  (String.concat " " (List.sort compare state)))
+              replicas;
+            loop ()
+        | [ "stats" ] ->
+            let c = Net.counters net in
+            Fmt.pr "ops ok=%d failed=%d repairs=%d | msgs sent=%d delivered=%d \
+                    dropped=%d | sim time %.1f@."
+              client.Store.Client.ops_ok client.ops_failed client.repairs_sent
+              c.Net.sent c.delivered c.dropped (Core.now sim);
+            loop ()
+        | _ ->
+            Fmt.pr "unknown command (try 'help')@.";
+            loop ())
+  in
+  loop ()

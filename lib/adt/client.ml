@@ -1,0 +1,168 @@
+(** The General Quorum Consensus client.
+
+    Executing operation [op] on object [key]:
+
+    1. {e initial round} (only if the operation needs one): Pull from
+       all replicas, merge the returned logs, until the replies cover
+       the read quorum.  Blind mutators — counter increments,
+       enqueues — skip this round entirely; that is the scheme's
+       advantage over value/version replication, where every write
+       pays a version-discovery round.
+    2. {e compute}: sort the merged log by timestamp, replay the
+       sequential specification, apply [op] for its result.
+    3. {e final round} (mutators only): append the new entry (with a
+       timestamp past everything observed) and Push to all replicas
+       until acknowledgements cover the write quorum.
+
+    Consistency rests on the usual intersection: an observer's initial
+    quorum meets every completed mutator's final quorum, so the merged
+    log contains every completed operation. *)
+
+module Core = Sim.Core
+module Net = Sim.Net
+module Strategy = Store.Strategy
+
+(* Which rounds does an operation need?  [Set] is a mutator that needs
+   the initial round anyway: last-writer-wins requires its timestamp
+   to dominate previously completed sets. *)
+let needs_initial (op : Spec.op) =
+  Spec.observes op || match op with Spec.Set _ -> true | _ -> false
+
+type phase = Initial | Final
+
+type pending = {
+  key : string;
+  op : Spec.op;
+  mutable rid : int;
+  mutable phase : phase;
+  mutable mask : int;
+  mutable merged : Replica.entry list;
+  mutable result : Spec.result;
+  mutable live : bool;
+  started : float;
+  on_done : ok:bool -> result:Spec.result -> latency:float -> unit;
+}
+
+type t = {
+  name : string;
+  sim : Core.t;
+  net : Replica.msg Net.t;
+  replicas : string array;
+  strategy : Strategy.t;
+  clock : Timestamp.clock;
+  mutable next_rid : int;
+  pending : (int, pending) Hashtbl.t;
+  timeout : float;
+}
+
+let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0) () =
+  {
+    name;
+    sim;
+    net;
+    replicas;
+    strategy;
+    clock = Timestamp.clock ~id:name;
+    next_rid = 0;
+    pending = Hashtbl.create 16;
+    timeout;
+  }
+
+let replica_index t name =
+  let rec go i =
+    if i >= Array.length t.replicas then None
+    else if String.equal t.replicas.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let fresh_rid t =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  rid
+
+let broadcast t msg_of_rid ~rid =
+  Array.iter
+    (fun r -> Net.send t.net ~src:t.name ~dst:r (msg_of_rid rid))
+    t.replicas
+
+let finish t (p : pending) ~ok =
+  if p.live then begin
+    p.live <- false;
+    Hashtbl.remove t.pending p.rid;
+    p.on_done ~ok ~result:p.result ~latency:(Core.now t.sim -. p.started)
+  end
+
+let arm_timeout t (p : pending) =
+  Core.schedule t.sim ~delay:t.timeout (fun () ->
+      if p.live then finish t p ~ok:false)
+
+(* Compute the result and, for mutators, start the final round. *)
+let compute_and_finalize t (p : pending) =
+  List.iter (fun (e : Replica.entry) -> Timestamp.observe t.clock e.ts) p.merged;
+  let state = Spec.replay (List.map (fun (e : Replica.entry) -> e.op) p.merged) in
+  let _, result = Spec.apply state p.op in
+  p.result <- result;
+  if Spec.mutates p.op then begin
+    let entry = { Replica.ts = Timestamp.fresh t.clock; op = p.op } in
+    let rid = fresh_rid t in
+    p.phase <- Final;
+    p.rid <- rid;
+    p.mask <- 0;
+    p.merged <- Replica.merge p.merged [ entry ];
+    Hashtbl.replace t.pending rid p;
+    let entries = p.merged in
+    broadcast t ~rid (fun rid -> Replica.Push { rid; key = p.key; entries })
+  end
+  else finish t p ~ok:true
+
+let handle t ~src msg =
+  let rid = Replica.rid msg in
+  match Hashtbl.find_opt t.pending rid with
+  | None -> ()
+  | Some p when not p.live -> ()
+  | Some p -> (
+      match (msg, replica_index t src) with
+      | Replica.Entries { key; entries; _ }, Some i
+        when String.equal key p.key && p.phase = Initial ->
+          p.mask <- p.mask lor (1 lsl i);
+          p.merged <- Replica.merge p.merged entries;
+          if t.strategy.Strategy.read_ok p.mask then begin
+            Hashtbl.remove t.pending rid;
+            compute_and_finalize t p
+          end
+      | Replica.Ack { key; _ }, Some i
+        when String.equal key p.key && p.phase = Final ->
+          p.mask <- p.mask lor (1 lsl i);
+          if t.strategy.Strategy.write_ok p.mask then finish t p ~ok:true
+      | _ -> ())
+
+let attach t = Net.register t.net ~node:t.name (fun ~src msg -> handle t ~src msg)
+
+(** Execute [op] on [key]; [on_done] receives success, the
+    operation's result (meaningful for observers), and the latency. *)
+let execute t ~key ~(op : Spec.op) ~on_done =
+  let p =
+    {
+      key;
+      op;
+      rid = 0;
+      phase = Initial;
+      mask = 0;
+      merged = [];
+      result = Spec.Unit;
+      live = true;
+      started = Core.now t.sim;
+      on_done;
+    }
+  in
+  arm_timeout t p;
+  if needs_initial op then begin
+    let rid = fresh_rid t in
+    p.rid <- rid;
+    Hashtbl.replace t.pending rid p;
+    broadcast t ~rid (fun rid -> Replica.Pull { rid; key })
+  end
+  else
+    (* blind mutator: no initial round at all *)
+    compute_and_finalize t p

@@ -1,0 +1,24 @@
+(** Event-log replicas: per object, a grow-only set of timestamped
+    operations; [Pull] returns it, [Push] union-merges into it.
+    Merging is idempotent and commutative, so replicas converge to the
+    union of what they were sent. *)
+
+type entry = { ts : Timestamp.t; op : Spec.op }
+
+type msg =
+  | Pull of { rid : int; key : string }
+  | Entries of { rid : int; key : string; entries : entry list }
+  | Push of { rid : int; key : string; entries : entry list }
+  | Ack of { rid : int; key : string }
+
+val rid : msg -> int
+
+type t
+
+val create : name:string -> t
+val log : t -> string -> entry list
+
+val merge : entry list -> entry list -> entry list
+(** Union of two timestamp-sorted entry lists. *)
+
+val attach : t -> net:msg Sim.Net.t -> unit

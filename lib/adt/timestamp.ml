@@ -1,0 +1,37 @@
+(** Totally ordered logical timestamps for replicated event logs.
+
+    Herlihy's General Quorum Consensus replicates an abstract data
+    type as a log of timestamped operations; correctness needs a total
+    order on log entries consistent with real-time completion order.
+    We use Lamport-style timestamps: (logical time, client id, per-
+    client sequence number).  Each client advances its logical time
+    past the highest it has observed in any log it merged, so an
+    operation that begins after another completed gets a larger
+    timestamp. *)
+
+type t = { time : int; client : string; seq : int }
+
+let compare a b =
+  match Int.compare a.time b.time with
+  | 0 -> (
+      match String.compare a.client b.client with
+      | 0 -> Int.compare a.seq b.seq
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t = Fmt.pf ppf "%d.%s.%d" t.time t.client t.seq
+
+(** A per-client timestamp generator. *)
+type clock = { id : string; mutable now : int; mutable next_seq : int }
+
+let clock ~id = { id; now = 0; next_seq = 0 }
+
+(** Advance past an observed timestamp (on log merge). *)
+let observe c (t : t) = if t.time > c.now then c.now <- t.time
+
+let fresh c =
+  c.now <- c.now + 1;
+  c.next_seq <- c.next_seq + 1;
+  { time = c.now; client = c.id; seq = c.next_seq }

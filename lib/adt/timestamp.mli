@@ -1,0 +1,19 @@
+(** Totally ordered Lamport-style logical timestamps for replicated
+    event logs: (logical time, client id, per-client sequence number).
+    Clients advance their clocks past everything observed in merged
+    logs, so operations beginning after another completed get larger
+    timestamps. *)
+
+type t = { time : int; client : string; seq : int }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+type clock
+
+val clock : id:string -> clock
+val observe : clock -> t -> unit
+(** Advance past an observed timestamp (on log merge). *)
+
+val fresh : clock -> t

@@ -1,0 +1,47 @@
+(** A concurrent (non-serial) execution engine for replicated
+    nested-transaction systems — the "system C" of Theorem 11.  Runs
+    the same user scripts as the serial systems with real concurrency
+    (seeded interleavings, quorum rounds against shared DMs, injected
+    and deadlock-victim aborts), arbitrated at the copy level by a
+    pluggable concurrency control. *)
+
+open Ioa
+module Item = Quorum.Item
+module Description = Quorum.Description
+
+type outcome = Committed of Value.t | Aborted
+
+(** Which copy-level concurrency control arbitrates the run.  [`NoCC]
+    exists for ablations and oracle mutation tests — with racing
+    transactions the Theorem 11 check is then expected to fail. *)
+type mode = [ `TwoPL | `Mvto | `NoCC ]
+
+(** One logical-level event, recorded at TM (or raw access) commit
+    time; [top] is the enclosing top-level transaction. *)
+type event =
+  | ERead of { top : Txn.t; tm : Txn.t; item : string; value : Value.t }
+  | EWrite of { top : Txn.t; tm : Txn.t; item : string; value : Value.t }
+  | ERawRead of { top : Txn.t; access : Txn.t; obj : string; value : Value.t }
+  | ERawWrite of { top : Txn.t; access : Txn.t; obj : string; value : Value.t }
+
+type t
+(** Engine state. *)
+
+val create : ?abort_rate:float -> ?mode:mode -> seed:int -> Description.t -> t
+
+type run_log = {
+  events : event list;  (** in execution order *)
+  commit_order : Txn.t list;  (** top-level commit order *)
+  serial_order : Txn.t list;
+      (** the witness serialization order the CC guarantees: commit
+          order for 2PL, timestamp order for MVTO *)
+  outcomes : (Txn.t * outcome) list;  (** every node's final outcome *)
+  final_dms : (string * Value.t) list;  (** committed DM values *)
+  final_raws : (string * Value.t) list;
+  steps : int;
+  peak_concurrency : int;
+  residual_locks : int;
+}
+
+val run : ?max_steps:int -> t -> run_log
+(** Run until every top-level transaction finished (or the bound). *)

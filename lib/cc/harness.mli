@@ -1,0 +1,37 @@
+(** Harness for the concurrent replicated system: generate a random
+    description, run it concurrently with injected aborts, and
+    validate one-copy serializability (Theorem 11). *)
+
+type report = {
+  seed : int;
+  steps : int;
+  peak_concurrency : int;
+  committed_tops : int;
+  aborted_nodes : int;
+  events : int;
+}
+
+val run :
+  ?abort_rate:float ->
+  ?max_steps:int ->
+  ?mode:Engine.mode ->
+  seed:int ->
+  Quorum.Description.t ->
+  Engine.run_log
+
+val concurrent_root :
+  Qc_util.Prng.t -> Quorum.Description.t -> extra_tops:int ->
+  Quorum.Description.t
+(** Rebuild a description for maximal concurrency: the root requests
+    all top-level transactions unordered, with [extra_tops] additional
+    random ones. *)
+
+val run_and_check :
+  ?params:Quorum.Gen.params ->
+  ?abort_rate:float ->
+  ?max_steps:int ->
+  ?extra_tops:int ->
+  ?mode:Engine.mode ->
+  seed:int ->
+  unit ->
+  (report, string) result

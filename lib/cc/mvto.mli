@@ -1,0 +1,35 @@
+(** Reed-style multiversion timestamp ordering ([20] in the paper):
+    per-top-level timestamps, versioned objects, reads of the latest
+    version at or before the reader's timestamp (blocking on
+    uncommitted ones), the late-write abort rule, and timestamp-order
+    serialization.  See DESIGN.md for the documented simplification
+    versus Reed's hierarchical pseudo-times. *)
+
+open Ioa
+
+type t
+
+val create : unit -> t
+
+val timestamp : t -> Txn.t -> int
+(** The transaction's (top-level's) timestamp, assigned at first use. *)
+
+type read_result = ROk of Value.t | RBlock of Txn.t list | RAbort
+type write_result = WOk | WBlock of Txn.t list | WAbort
+
+val try_read : t -> obj:string -> initial:Value.t -> who:Txn.t -> read_result
+val try_write : t -> obj:string -> initial:Value.t -> who:Txn.t -> Value.t -> write_result
+
+val commit : t -> Txn.t -> unit
+(** A top-level commit publishes its versions. *)
+
+val abort : t -> Txn.t -> unit
+(** Discard the versions written inside the aborting subtree. *)
+
+val committed_values : t -> (string * Value.t) list
+val residual : t -> int
+(** Uncommitted versions left (0 after a clean run). *)
+
+val serial_order : t -> Txn.t list -> Txn.t list
+(** Committed top-levels sorted by timestamp — the serialization
+    witness. *)

@@ -1,0 +1,9 @@
+(** The Theorem 11 oracle: one-copy serializability at the logical
+    level.  Replays the recorded logical events against a
+    non-replicated serial store in the concurrency control's witness
+    order, considering only non-orphan events, and checks every read,
+    the final replicated state, and the replication invariant. *)
+
+type mismatch = { what : string; detail : string }
+
+val check : Quorum.Description.t -> Engine.run_log -> (unit, mismatch) result

@@ -1,0 +1,40 @@
+(** Builder for state-deterministic I/O automata.
+
+    Concrete automata in this repository are given by a pure state
+    type plus:
+    - a [transition] function implementing the pre/postconditions of
+      the paper's definitions ([None] = precondition fails);
+    - an [enabled] function listing the currently enabled outputs.
+
+    [make] ties the knot into a {!Component.t}.  It enforces the input
+    condition dynamically: an input whose [transition] yields [None]
+    is treated as a no-op (state unchanged), which matches the
+    paper's automata where inputs never have preconditions but may
+    have empty postconditions (e.g. ABORT at a read-TM). *)
+
+let make ~name ~is_input ~is_output ~(state : 's)
+    ~(transition : 's -> Action.t -> 's option)
+    ~(enabled : 's -> Action.t list) ?(pp : ('s -> string) option) () :
+    Component.t =
+  let pp_state = match pp with Some f -> f | None -> fun _ -> "<state>" in
+  let rec of_state (s : 's) : Component.t =
+    {
+      Component.name;
+      is_input;
+      is_output;
+      step =
+        (fun a ->
+          if is_output a then
+            match transition s a with
+            | Some s' -> Some (of_state s')
+            | None -> None
+          else if is_input a then
+            match transition s a with
+            | Some s' -> Some (of_state s')
+            | None -> Some (of_state s) (* input condition: always accept *)
+          else None);
+      enabled = (fun () -> List.filter is_output (enabled s));
+      describe = (fun () -> pp_state s);
+    }
+  in
+  of_state state

@@ -1,0 +1,19 @@
+(** Builder for state-deterministic I/O automata from a pure state
+    type, a transition function implementing pre/postconditions, and
+    an enabled-outputs function. *)
+
+val make :
+  name:string ->
+  is_input:(Action.t -> bool) ->
+  is_output:(Action.t -> bool) ->
+  state:'s ->
+  transition:('s -> Action.t -> 's option) ->
+  enabled:('s -> Action.t list) ->
+  ?pp:('s -> string) ->
+  unit ->
+  Component.t
+(** [make ~name ~is_input ~is_output ~state ~transition ~enabled ()]
+    ties the knot into a {!Component.t}.  The input condition is
+    enforced dynamically: an input whose [transition] yields [None] is
+    treated as a no-op (matching automata whose inputs have no
+    preconditions but possibly empty postconditions). *)

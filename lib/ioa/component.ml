@@ -1,0 +1,45 @@
+(** I/O automaton components, encoded as immutable step machines.
+
+    An I/O automaton (Section 2.1) has states, start states, disjoint
+    input and output operation sets, and a transition relation subject
+    to the {e input condition}: every input operation is enabled in
+    every state.
+
+    We encode a component in "Mealy" style: a value of type {!t}
+    represents an automaton {e together with its current state}; each
+    [step] returns a new component.  This keeps executions replayable
+    and lets checkers re-run schedules without mutation.  All the
+    automata we define are state-deterministic in the paper's sense
+    (the state is a function of the schedule), so one successor per
+    step suffices; the nondeterminism of the model lives in the
+    *choice* of the next operation, which {!System} resolves with a
+    seeded PRNG. *)
+
+type t = {
+  name : string;  (** for diagnostics only *)
+  is_input : Action.t -> bool;  (** input signature [in(A)] *)
+  is_output : Action.t -> bool;  (** output signature [out(A)] *)
+  step : Action.t -> t option;
+      (** [step pi] is [Some c'] when the operation is in the
+          signature and (for outputs) its precondition holds; [None]
+          when an output's precondition fails.  By the input
+          condition, [step] never returns [None] on an input. *)
+  enabled : unit -> Action.t list;
+      (** the output operations enabled in the current state.  For
+          automata with infinitely many enabled outputs this is a
+          finite, generator-chosen sample (a restriction of
+          nondeterminism only -- see DESIGN.md Section 5). *)
+  describe : unit -> string;  (** current-state rendering, for debug *)
+}
+
+let name c = c.name
+let is_input c a = c.is_input a
+let is_output c a = c.is_output a
+
+(** An operation is in the component's signature if it is an input or
+    an output of the component. *)
+let has_action c a = c.is_input a || c.is_output a
+
+let step c a = c.step a
+let enabled c = c.enabled ()
+let describe c = c.describe ()

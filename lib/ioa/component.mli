@@ -1,0 +1,31 @@
+(** I/O automaton components, encoded as immutable step machines: a
+    value of type {!t} is an automaton {e together with its current
+    state}; stepping returns a new component.  See the implementation
+    notes for how this realizes the Section 2.1 model. *)
+
+type t = {
+  name : string;  (** for diagnostics only *)
+  is_input : Action.t -> bool;  (** input signature [in(A)] *)
+  is_output : Action.t -> bool;  (** output signature [out(A)] *)
+  step : Action.t -> t option;
+      (** [Some c'] when the operation is in the signature and (for
+          outputs) its precondition holds; [None] when an output's
+          precondition fails.  Never [None] on an input (input
+          condition). *)
+  enabled : unit -> Action.t list;
+      (** the output operations enabled in the current state (a
+          finite, generator-chosen sample when infinitely many are
+          enabled) *)
+  describe : unit -> string;  (** current-state rendering, for debug *)
+}
+
+val name : t -> string
+val is_input : t -> Action.t -> bool
+val is_output : t -> Action.t -> bool
+
+val has_action : t -> Action.t -> bool
+(** In the component's signature (input or output). *)
+
+val step : t -> Action.t -> t option
+val enabled : t -> Action.t list
+val describe : t -> string

@@ -1,0 +1,72 @@
+(** Families: one component hosting a set of same-shaped automata
+    whose {e names are computed at run time}.
+
+    The transaction tree contains a name for every transaction that
+    might ever be invoked; most of our automata are instantiated
+    statically from scripts.  But some transactions' names embed
+    values computed during execution — e.g. the reconfiguration
+    coordinators of Section 4, whose parameters (version numbers,
+    target configurations) come out of a preceding query.  A family
+    models the (conceptually infinite) set of all such automata as a
+    single component: it lazily instantiates a member's state at its
+    CREATE and routes every later operation to it by name.
+
+    Composition-wise this is sound: the family's signature is the
+    union of its members' signatures (given by static name patterns),
+    members' signatures are disjoint from each other by naming, and a
+    member automaton that has not yet been created has no enabled
+    outputs (all our automata sleep until CREATE). *)
+
+type 'state member_spec = {
+  init : Txn.t -> 'state;  (** member's start state, from its name *)
+  transition : 'state -> Action.t -> 'state option;
+  enabled : 'state -> Action.t list;
+  m_is_input : Txn.t -> Action.t -> bool;
+      (** is [a] an input of the member named [t]? *)
+  m_is_output : Txn.t -> Action.t -> bool;
+}
+
+(** [member_of_action ~member a] finds which family member an
+    operation concerns: the operation's transaction if it is itself a
+    member, else its parent (covering a member's child accesses). *)
+let member_of_action ~(member : Txn.t -> bool) (a : Action.t) : Txn.t option
+    =
+  let t = Action.txn a in
+  if member t then Some t
+  else if (not (Txn.is_root t)) && member (Txn.parent t) then
+    Some (Txn.parent t)
+  else None
+
+type 'state family_state = 'state Txn.Map.t
+
+let make ~name ~(member : Txn.t -> bool) (spec : 'state member_spec) :
+    Component.t =
+  let is_input a =
+    match member_of_action ~member a with
+    | Some m -> spec.m_is_input m a
+    | None -> false
+  in
+  let is_output a =
+    match member_of_action ~member a with
+    | Some m -> spec.m_is_output m a
+    | None -> false
+  in
+  let transition (st : 'state family_state) (a : Action.t) =
+    match member_of_action ~member a with
+    | None -> None
+    | Some m ->
+        let sub =
+          match Txn.Map.find_opt m st with
+          | Some s -> s
+          | None -> spec.init m
+        in
+        Option.map (fun s' -> Txn.Map.add m s' st) (spec.transition sub a)
+  in
+  let enabled (st : 'state family_state) =
+    Txn.Map.fold (fun _ sub acc -> spec.enabled sub @ acc) st []
+  in
+  Automaton.make ~name ~is_input ~is_output
+    ~state:(Txn.Map.empty : 'state family_state)
+    ~transition ~enabled
+    ~pp:(fun st -> Fmt.str "family %s: %d live members" name (Txn.Map.cardinal st))
+    ()

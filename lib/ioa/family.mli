@@ -1,0 +1,23 @@
+(** Families: one component hosting a set of same-shaped automata
+    whose names are computed at run time (e.g. the Section 4
+    coordinators, whose parameters come out of a preceding query).
+    Members are lazily instantiated at their CREATE and routed to by
+    name. *)
+
+type 'state member_spec = {
+  init : Txn.t -> 'state;  (** member's start state, from its name *)
+  transition : 'state -> Action.t -> 'state option;
+  enabled : 'state -> Action.t list;
+  m_is_input : Txn.t -> Action.t -> bool;
+      (** is the action an input of the member named [t]? *)
+  m_is_output : Txn.t -> Action.t -> bool;
+}
+
+val member_of_action : member:(Txn.t -> bool) -> Action.t -> Txn.t option
+(** Which family member an operation concerns: the operation's
+    transaction if it is itself a member, else its parent (covering a
+    member's child accesses). *)
+
+val make : name:string -> member:(Txn.t -> bool) -> 'state member_spec -> Component.t
+(** The family as a single component whose signature is the union of
+    its members' signatures. *)

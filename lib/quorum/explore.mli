@@ -1,0 +1,38 @@
+(** Exhaustive exploration of a system's schedule space: depth-first
+    over every enabled output, threading an incremental checker along
+    each branch.  Completion within the budget is an exhaustive proof
+    for that instance. *)
+
+open Ioa
+
+type stats = {
+  schedules : int;  (** maximal schedules reached *)
+  prefixes : int;  (** prefixes visited (= operations checked) *)
+  exhausted : bool;  (** false when the budget stopped the walk *)
+  violation : (Schedule.t * string) option;  (** first failure found *)
+}
+
+(** A prefix-incremental checker. *)
+type 'st checker = {
+  init : 'st;
+  step : 'st -> Action.t -> ('st, string) result;
+}
+
+val run :
+  ?budget:int ->
+  ?filter:(Action.t -> bool) ->
+  System.t ->
+  'st checker ->
+  stats
+(** Walk every schedule whose operations pass [filter], stopping at
+    the first violation or after [budget] visited prefixes. *)
+
+val no_aborts : Action.t -> bool
+(** Filter dropping the scheduler's spontaneous ABORTs (shrinks the
+    space drastically; restricts nondeterminism only). *)
+
+val check_description :
+  ?budget:int -> ?include_aborts:bool -> ?max_attempts:int -> Description.t ->
+  stats
+(** Exhaustively validate Lemmas 5-8 on every (optionally abort-free)
+    schedule of system B for the description. *)

@@ -1,0 +1,138 @@
+(** Random generation of system descriptions.
+
+    The correctness results are universally quantified over system
+    types, configurations, and user transaction behaviour; the
+    property tests therefore sample that space: random items with
+    random legal configurations (drawn from all the constructor
+    families plus arbitrary legal configurations), random
+    non-replicated objects, and random user scripts (nested, with
+    mixed ordered/unordered children and read/write/raw operations). *)
+
+open Ioa
+module Prng = Qc_util.Prng
+
+type params = {
+  max_items : int;
+  max_dms : int;
+  max_raws : int;
+  max_depth : int;
+  max_children : int;
+}
+
+let default_params =
+  { max_items = 3; max_dms = 5; max_raws = 2; max_depth = 3; max_children = 4 }
+
+(* A random legal configuration over [dms]: sampled from the standard
+   families, plus "core" configurations in which one distinguished DM
+   belongs to every quorum (legal by construction). *)
+let config rng dms =
+  match Prng.int rng 5 with
+  | 0 -> Config.rowa dms
+  | 1 -> Config.raow dms
+  | 2 -> Config.majority dms
+  | 3 ->
+      let votes = List.map (fun d -> (d, 1 + Prng.int rng 3)) dms in
+      let total = List.fold_left (fun acc (_, v) -> acc + v) 0 votes in
+      let r = 1 + Prng.int rng total in
+      let w = total - r + 1 in
+      Config.weighted ~votes ~read_threshold:r ~write_threshold:w
+  | _ ->
+      let core = Prng.choose rng dms in
+      let quorums () =
+        let n = 1 + Prng.int rng 3 in
+        List.init n (fun _ ->
+            core :: Prng.subset rng (List.filter (( <> ) core) dms) ~p:0.5)
+      in
+      Config.make ~read_quorums:(quorums ()) ~write_quorums:(quorums ())
+
+let item rng ~params i =
+  let name = Fmt.str "x%d" i in
+  let n_dms = 1 + Prng.int rng params.max_dms in
+  let dms = List.init n_dms (fun j -> Fmt.str "%s_d%d" name j) in
+  Item.make ~name ~dms ~config:(config rng dms)
+    ~initial:(Value.Int (Prng.int rng 100))
+
+(* Random user script over the given items and raw objects. *)
+let rec script rng ~params ~items ~raws ~depth ~label : Serial.User_txn.script
+    =
+  let n = 1 + Prng.int rng params.max_children in
+  let children =
+    List.init n (fun idx ->
+        let pick = Prng.int rng (if depth > 0 then 4 else 3) in
+        match pick with
+        | 0 ->
+            (* logical read *)
+            let it : Item.t = Prng.choose rng items in
+            Serial.User_txn.Access_child
+              (Txn.Access
+                 { obj = it.Item.name; kind = Txn.Read; data = Value.Nil; seq = idx })
+        | 1 ->
+            (* logical write of a fresh value *)
+            let it : Item.t = Prng.choose rng items in
+            Serial.User_txn.Access_child
+              (Txn.Access
+                 {
+                   obj = it.Item.name;
+                   kind = Txn.Write;
+                   data = Value.Int (Prng.int rng 1_000_000);
+                   seq = idx;
+                 })
+        | 2 -> (
+            (* raw access when raw objects exist, else another read *)
+            match raws with
+            | [] ->
+                let it : Item.t = Prng.choose rng items in
+                Serial.User_txn.Access_child
+                  (Txn.Access
+                     { obj = it.Item.name; kind = Txn.Read; data = Value.Nil; seq = idx })
+            | _ ->
+                let obj = fst (Prng.choose rng raws) in
+                let kind = if Prng.bool rng then Txn.Read else Txn.Write in
+                let data =
+                  match kind with
+                  | Txn.Read -> Value.Nil
+                  | Txn.Write -> Value.Int (Prng.int rng 1_000_000)
+                in
+                Serial.User_txn.Access_child (Txn.Access { obj; kind; data; seq = idx }))
+        | _ ->
+            let sub_label = Fmt.str "%s_u%d" label idx in
+            Serial.User_txn.Sub
+              ( sub_label,
+                script rng ~params ~items ~raws ~depth:(depth - 1)
+                  ~label:sub_label ))
+  in
+  {
+    Serial.User_txn.children;
+    ordered = Prng.bool rng;
+    (* occasionally eager: the model permits committing without
+       waiting for children, and the results must survive it *)
+    eager = Prng.float rng < 0.2;
+    returns = Serial.User_txn.return_all;
+  }
+
+(** [description rng] draws a complete random system description. *)
+let description ?(params = default_params) rng : Description.t =
+  let n_items = 1 + Prng.int rng params.max_items in
+  let items = List.init n_items (fun i -> item rng ~params i) in
+  let n_raws = Prng.int rng (params.max_raws + 1) in
+  let raw_objects =
+    List.init n_raws (fun i -> (Fmt.str "raw%d" i, Value.Int (Prng.int rng 100)))
+  in
+  let root_script =
+    let top = 1 + Prng.int rng 3 in
+    let children =
+      List.init top (fun idx ->
+          let label = Fmt.str "top%d" idx in
+          Serial.User_txn.Sub
+            ( label,
+              script rng ~params ~items ~raws:raw_objects
+                ~depth:params.max_depth ~label ))
+    in
+    {
+      Serial.User_txn.children;
+      ordered = Prng.bool rng;
+      eager = false;
+      returns = Serial.User_txn.return_nil;
+    }
+  in
+  { Description.items; raw_objects; root_script }

@@ -1,0 +1,31 @@
+(** Random generation of system descriptions: random items with random
+    legal configurations (all constructor families plus arbitrary
+    legal ones), random non-replicated objects, and random nested user
+    scripts — the sample space of the property tests. *)
+
+type params = {
+  max_items : int;
+  max_dms : int;
+  max_raws : int;
+  max_depth : int;
+  max_children : int;
+}
+
+val default_params : params
+
+val config : Qc_util.Prng.t -> string list -> Config.t
+(** A random legal configuration over the given DMs. *)
+
+val item : Qc_util.Prng.t -> params:params -> int -> Item.t
+
+val script :
+  Qc_util.Prng.t ->
+  params:params ->
+  items:Item.t list ->
+  raws:(string * Ioa.Value.t) list ->
+  depth:int ->
+  label:string ->
+  Serial.User_txn.script
+
+val description : ?params:params -> Qc_util.Prng.t -> Description.t
+(** A complete random system description. *)

@@ -1,0 +1,36 @@
+(** End-to-end harness: drive system B, then run every checker the
+    paper's results demand — Lemma 5 (well-formedness), Lemmas 6-8
+    (invariants), Theorem 10 (simulation). *)
+
+open Ioa
+
+val abort_damped : ?abort_rate:float -> System.strategy -> System.strategy
+(** Dampens the scheduler's spontaneous aborts: with probability
+    [1 - abort_rate], ABORTs are removed from the menu when anything
+    else is enabled. *)
+
+val run_b :
+  ?max_steps:int -> ?abort_rate:float -> seed:int -> Description.t ->
+  System.run_result
+(** Run system B from a seed. *)
+
+type report = {
+  seed : int;
+  steps : int;
+  quiescent : bool;
+  items : int;
+  logical_states : (string * Value.t) list;
+}
+
+val check_all : Description.t -> Schedule.t -> (unit, string) result
+(** All schedule-level checks for one B-schedule. *)
+
+val run_and_check :
+  ?params:Gen.params ->
+  ?max_steps:int ->
+  ?abort_rate:float ->
+  seed:int ->
+  unit ->
+  (report, string) result
+(** Generate a random description from [seed], run it, check
+    everything — the workhorse of the property suite. *)

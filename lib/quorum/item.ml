@@ -1,0 +1,32 @@
+(** Logical data items (Section 2.3 / 3.1).
+
+    A logical data item [x] is a variable with a domain, an initial
+    value [i_x], a set [dm(x)] of data-manager names holding its
+    replicas, and a legal configuration [config(x)] over [dm(x)].
+    Distinct items must have disjoint DM sets (enforced by
+    {!Description}). *)
+
+type t = {
+  name : string;  (** the logical item name [x] *)
+  dms : string list;  (** [dm(x)]: names of the replicas *)
+  config : Config.t;  (** [config(x)], required legal over [dms] *)
+  initial : Ioa.Value.t;  (** [i_x] *)
+}
+
+let make ~name ~dms ~config ~initial =
+  if not (Config.legal config) then
+    invalid_arg (Fmt.str "Item.make %s: configuration is not legal" name);
+  let mentioned = Config.members config in
+  if not (List.for_all (fun d -> List.mem d dms) mentioned) then
+    invalid_arg
+      (Fmt.str "Item.make %s: configuration mentions DMs outside dm(x)" name);
+  { name; dms; config; initial }
+
+(** The initial state of each DM for this item: version number 0 and
+    the item's initial value (Section 3.1). *)
+let dm_initial t = Ioa.Value.Versioned (0, t.initial)
+
+let pp ppf t =
+  Fmt.pf ppf "item %s: dms=[%a] %a init=%a" t.name
+    Fmt.(list ~sep:(any ",") string)
+    t.dms Config.pp t.config Ioa.Value.pp t.initial

@@ -1,0 +1,24 @@
+(** Logical data items (paper Sections 2.3 / 3.1): a name, the DM set
+    [dm(x)] holding the replicas, a legal configuration [config(x)],
+    and the initial value [i_x]. *)
+
+type t = {
+  name : string;
+  dms : string list;
+  config : Config.t;
+  initial : Ioa.Value.t;
+}
+
+val make :
+  name:string ->
+  dms:string list ->
+  config:Config.t ->
+  initial:Ioa.Value.t ->
+  t
+(** @raise Invalid_argument when the configuration is illegal or
+    mentions DMs outside [dms]. *)
+
+val dm_initial : t -> Ioa.Value.t
+(** Initial DM state: [Versioned (0, i_x)] (Section 3.1). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,28 @@
+(** The Section 3.1 definitions, computed from schedules:
+    [access(x,b)], [logical-state(x,b)] and [current-vn(x,b)]. *)
+
+open Ioa
+
+val tm_kind : Item.t -> Txn.t -> Txn.kind option
+(** Membership (and kind) in [tm(x)] for this item. *)
+
+val is_tm : Item.t -> Txn.t -> bool
+
+val replica_access_dm : Item.t -> Txn.t -> string option
+(** The DM accessed, when the name is an access to one of this item's
+    DMs. *)
+
+val access_sequence : Item.t -> Schedule.t -> Schedule.t
+(** [access(x, b)]: the CREATE and REQUEST_COMMIT operations of
+    members of [tm(x)]. *)
+
+val logical_state : Item.t -> Schedule.t -> Value.t
+(** [logical-state(x, b)]: the value of the last write-TM
+    REQUEST_COMMIT, or [i_x]. *)
+
+val current_vn : Item.t -> Schedule.t -> int
+(** [current-vn(x, b)]: the maximum version among the last committed
+    write access of each DM, or 0. *)
+
+val dm_states : Item.t -> Schedule.t -> (string * (int * Value.t)) list
+(** Every DM's (version, value) after the schedule, reconstructed. *)

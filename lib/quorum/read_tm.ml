@@ -1,0 +1,153 @@
+(** Read transaction managers (Section 3.1), transcribed from the
+    paper's automaton definition.
+
+    A read-TM [T] for logical item [x] performs a logical read: it
+    invokes read accesses to the DMs for [x], always keeping the data
+    with the highest version number seen so far, and once COMMITs have
+    arrived from some read-quorum of DMs it may request to commit,
+    returning the kept value.
+
+    State components (paper names): [awake] (boolean), [data] (an
+    element of [D_x = N x V_x]), [requested] (a subset of [acc(x)]),
+    [read] (a subset of [dm(x)]).
+
+    The paper's automaton is maximally nondeterministic — it may keep
+    invoking accesses to arbitrary DMs forever.  Executable runs bound
+    the number of attempts per DM ([max_attempts]); this only
+    restricts nondeterminism, so every execution produced is an
+    execution of the paper's automaton (cf. the paper's own remark
+    that "all of our results apply even if such heuristics are
+    added"). *)
+
+open Ioa
+
+type state = {
+  self : Txn.t;
+  item : string;
+  dms : string list;
+  config : Config.t;
+  max_attempts : int;
+  awake : bool;
+  data_vn : int;
+  data_value : Value.t;
+  requested : Txn.Set.t;  (** read accesses whose creation was requested *)
+  read : string list;  (** DMs from which a COMMIT has been received *)
+}
+
+(* The name of this TM's [seq]-th read access to DM [d]. *)
+let access_name st d seq =
+  Txn.child st.self (Txn.Access { obj = d; kind = Txn.Read; data = Value.Nil; seq })
+
+let attempts_at st d =
+  Txn.Set.fold
+    (fun t acc ->
+      match Txn.obj_of t with
+      | Some o when String.equal o d -> acc + 1
+      | _ -> acc)
+    st.requested 0
+
+(* Fresh (not yet requested) access names this TM may still invoke. *)
+let fresh_accesses st =
+  List.filter_map
+    (fun d ->
+      let n = attempts_at st d in
+      if n < st.max_attempts then Some (access_name st d n) else None)
+    st.dms
+
+let is_child_access st t =
+  (not (Txn.is_root t))
+  && Txn.equal (Txn.parent t) st.self
+  && List.exists
+       (fun d -> Txn.obj_of t = Some d)
+       st.dms
+
+let can_request_commit st = st.awake && Config.read_covered st.config st.read
+
+let transition (st : state) (a : Action.t) : state option =
+  match a with
+  | Action.Create t when Txn.equal t st.self -> Some { st with awake = true }
+  | Action.Request_create t ->
+      if
+        st.awake
+        && is_child_access st t
+        && Txn.kind_of t = Some Txn.Read
+        && not (Txn.Set.mem t st.requested)
+      then Some { st with requested = Txn.Set.add t st.requested }
+      else None
+  | Action.Commit (t, d) when is_child_access st t -> (
+      (* COMMIT(T', d): add O(T') to read; keep the highest-versioned
+         data seen. *)
+      let dm = Option.get (Txn.obj_of t) in
+      let read =
+        if List.mem dm st.read then st.read else dm :: st.read
+      in
+      match d with
+      | Value.Versioned (vn, v) when vn > st.data_vn ->
+          Some { st with read; data_vn = vn; data_value = v }
+      | Value.Versioned _ -> Some { st with read }
+      | _ -> Some { st with read })
+  | Action.Abort t when is_child_access st t ->
+      (* ABORT(T') has no postconditions: the TM simply never hears
+         from that access. *)
+      Some st
+  | Action.Request_commit (t, v) when Txn.equal t st.self ->
+      if can_request_commit st && Value.equal v st.data_value then
+        Some { st with awake = false }
+      else None
+  | Action.Create _ | Action.Commit _ | Action.Abort _
+  | Action.Request_commit _ ->
+      None
+
+let enabled (st : state) : Action.t list =
+  if not st.awake then []
+  else
+    let reqs =
+      (* heuristic: stop invoking new accesses once a read-quorum has
+         answered (a restriction of nondeterminism only) *)
+      if Config.read_covered st.config st.read then []
+      else List.map (fun t -> Action.Request_create t) (fresh_accesses st)
+    in
+    let commit =
+      if can_request_commit st then
+        [ Action.Request_commit (st.self, st.data_value) ]
+      else []
+    in
+    reqs @ commit
+
+(** [make ~self ~item ()] builds the read-TM automaton named [self]
+    for logical item [item]. *)
+let make ~(self : Txn.t) ~(item : Item.t) ?(max_attempts = 3) () :
+    Component.t =
+  let state =
+    {
+      self;
+      item = item.Item.name;
+      dms = item.Item.dms;
+      config = item.Item.config;
+      max_attempts;
+      awake = false;
+      data_vn = 0;
+      data_value = item.Item.initial;
+      requested = Txn.Set.empty;
+      read = [];
+    }
+  in
+  Automaton.make
+    ~name:(Fmt.str "read-tm:%s" (Txn.to_string self))
+    ~is_input:(fun a ->
+      match a with
+      | Action.Create t -> Txn.equal t self
+      | Action.Commit (t, _) | Action.Abort t -> is_child_access state t
+      | Action.Request_create _ | Action.Request_commit _ -> false)
+    ~is_output:(fun a ->
+      match a with
+      | Action.Request_create t -> is_child_access state t
+      | Action.Request_commit (t, _) -> Txn.equal t self
+      | Action.Create _ | Action.Commit _ | Action.Abort _ -> false)
+    ~state ~transition ~enabled
+    ~pp:(fun st ->
+      Fmt.str "read-tm %a: awake=%b vn=%d read={%a}" Txn.pp st.self st.awake
+        st.data_vn
+        Fmt.(list ~sep:(any ",") string)
+        st.read)
+    ()

@@ -1,0 +1,11 @@
+(** Read transaction managers (paper Section 3.1): perform a logical
+    read by invoking read accesses to the item's DMs, keeping the
+    highest-versioned data, and returning its value once a read-quorum
+    has answered. *)
+
+open Ioa
+
+val make : self:Txn.t -> item:Item.t -> ?max_attempts:int -> unit -> Component.t
+(** The read-TM automaton named [self] for [item].  [max_attempts]
+    bounds access retries per DM (a restriction of nondeterminism
+    only). *)

@@ -1,0 +1,14 @@
+(** The Theorem 10 simulation checker: erase the replica-access
+    operations from a B-schedule, replay the result on a freshly-built
+    system A, and verify the non-replica objects and every user
+    transaction see identical operation sequences. *)
+
+open Ioa
+
+val project : Description.t -> Schedule.t -> Schedule.t
+(** The paper's construction of [alpha] from [beta]. *)
+
+type outcome = { alpha : Schedule.t; replayed : bool; views_agree : bool }
+
+val check : Description.t -> Schedule.t -> (outcome, string) result
+(** Run the full Theorem 10 validation for one B-schedule. *)

@@ -1,0 +1,48 @@
+(** The replicated serial system B (Section 3.1).
+
+    System B is an ordinary serial system in which each logical item
+    [x] is implemented by the DMs in [dm(x)] (read-write objects over
+    [N x V_x]), all accesses to which are children of the TMs for [x].
+    Its components are: the serial scheduler, the user transaction
+    automata (from the description's scripts), one read- or write-TM
+    automaton per logical access in the scripts, one DM object per
+    replica, and the non-replicated basic objects. *)
+
+open Ioa
+
+let build ?(max_attempts = 3) (d : Description.t) : System.t =
+  (match Description.validate d with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Fmt.str "System_b.build: %s" e));
+  let scheduler = Serial.Scheduler.make () in
+  let txns =
+    Serial.User_txn.make_tree ~no_commit:true ~self:Txn.root d.root_script
+  in
+  let tms =
+    List.map
+      (fun (name, item, kind) ->
+        match kind with
+        | Txn.Read -> Read_tm.make ~self:name ~item ~max_attempts ()
+        | Txn.Write -> Write_tm.make ~self:name ~item ~max_attempts ())
+      (Description.tm_names d)
+  in
+  let dms =
+    List.concat_map
+      (fun (i : Item.t) ->
+        List.map
+          (fun dm ->
+            Serial.Rw_object.make ~name:dm ~initial:(Item.dm_initial i) ())
+          i.Item.dms)
+      d.items
+  in
+  let raws =
+    List.map
+      (fun (name, initial) -> Serial.Rw_object.make ~name ~initial ())
+      d.raw_objects
+  in
+  System.compose ((scheduler :: txns) @ tms @ dms @ raws)
+
+(** Well-formedness predicate for system B schedules (Lemma 5 uses
+    this instantiation). *)
+let check_wellformed (d : Description.t) sched =
+  Wellformed.check ~is_access:(Description.is_access_b d) sched

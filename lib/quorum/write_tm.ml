@@ -1,0 +1,199 @@
+(** Write transaction managers (Section 3.1), transcribed from the
+    paper's automaton definition.
+
+    A write-TM [T] for logical item [x] performs a logical write of
+    [value(T)] (read off the TM's own name).  It first invokes read
+    accesses until a read-quorum of DMs has answered, tracking the
+    highest version number returned; it then invokes write accesses
+    carrying [(vn + 1, value(T))]; once COMMITs have arrived from a
+    write-quorum of DMs it may request to commit with value [nil].
+
+    Faithful subtlety: some read accesses may commit only after write
+    accesses have been invoked, possibly returning data this very TM
+    wrote.  To prevent the TM from seeing its own writes and bumping
+    the version number again, the COMMIT of a read access updates the
+    state {e only if no write access has been requested yet}
+    ([write_requested = {}] in the paper's postcondition).
+
+    State components (paper names): awake, data (only its
+    version-number evolves), read_requested, write_requested
+    (subsets of [acc(x)]), read, written (subsets of [dm(x)]). *)
+
+open Ioa
+
+type state = {
+  self : Txn.t;
+  item : string;
+  value : Value.t;  (** [value(T)], the logical value to install *)
+  dms : string list;
+  config : Config.t;
+  max_attempts : int;
+  awake : bool;
+  data_vn : int;
+  read_requested : Txn.Set.t;
+  write_requested : Txn.Set.t;
+  read : string list;
+  written : string list;
+}
+
+let read_access_name st d seq =
+  Txn.child st.self
+    (Txn.Access { obj = d; kind = Txn.Read; data = Value.Nil; seq })
+
+let write_access_name st d seq =
+  Txn.child st.self
+    (Txn.Access
+       { obj = d; kind = Txn.Write; data = Value.Versioned (st.data_vn + 1, st.value); seq })
+
+let attempts_at set d =
+  Txn.Set.fold
+    (fun t acc ->
+      match Txn.obj_of t with
+      | Some o when String.equal o d -> acc + 1
+      | _ -> acc)
+    set 0
+
+let is_child_access st t =
+  (not (Txn.is_root t))
+  && Txn.equal (Txn.parent t) st.self
+  && List.exists (fun d -> Txn.obj_of t = Some d) st.dms
+
+let read_quorum_seen st = Config.read_covered st.config st.read
+
+let can_request_commit st =
+  st.awake && Config.write_covered st.config st.written
+
+let transition (st : state) (a : Action.t) : state option =
+  match a with
+  | Action.Create t when Txn.equal t st.self -> Some { st with awake = true }
+  | Action.Request_create t when is_child_access st t -> (
+      match Txn.kind_of t with
+      | Some Txn.Read ->
+          if st.awake && not (Txn.Set.mem t st.read_requested) then
+            Some { st with read_requested = Txn.Set.add t st.read_requested }
+          else None
+      | Some Txn.Write ->
+          (* Precondition: a read-quorum has been read, the access
+             carries exactly (vn + 1, value(T)), and it is fresh. *)
+          let expected = Value.Versioned (st.data_vn + 1, st.value) in
+          if
+            st.awake && read_quorum_seen st
+            && (match Txn.data_of t with
+               | Some d -> Value.equal d expected
+               | None -> false)
+            && not (Txn.Set.mem t st.write_requested)
+          then
+            Some { st with write_requested = Txn.Set.add t st.write_requested }
+          else None
+      | None -> None)
+  | Action.Commit (t, d) when is_child_access st t -> (
+      match Txn.kind_of t with
+      | Some Txn.Read ->
+          (* Update only if no write access has been invoked yet. *)
+          if Txn.Set.is_empty st.write_requested then
+            let dm = Option.get (Txn.obj_of t) in
+            let read = if List.mem dm st.read then st.read else dm :: st.read in
+            let data_vn =
+              match d with
+              | Value.Versioned (vn, _) when vn > st.data_vn -> vn
+              | _ -> st.data_vn
+            in
+            Some { st with read; data_vn }
+          else Some st
+      | Some Txn.Write ->
+          let dm = Option.get (Txn.obj_of t) in
+          let written =
+            if List.mem dm st.written then st.written else dm :: st.written
+          in
+          Some { st with written }
+      | None -> None)
+  | Action.Abort t when is_child_access st t -> Some st
+  | Action.Request_commit (t, v) when Txn.equal t st.self ->
+      if can_request_commit st && Value.equal v Value.Nil then
+        Some { st with awake = false }
+      else None
+  | Action.Create _ | Action.Request_create _ | Action.Commit _
+  | Action.Abort _ | Action.Request_commit _ ->
+      None
+
+let enabled (st : state) : Action.t list =
+  if not st.awake then []
+  else
+    let read_reqs =
+      (* keep querying until a read-quorum has answered *)
+      if read_quorum_seen st then []
+      else
+        List.filter_map
+          (fun d ->
+            let n = attempts_at st.read_requested d in
+            if n < st.max_attempts then
+              Some (Action.Request_create (read_access_name st d n))
+            else None)
+          st.dms
+    in
+    let write_reqs =
+      if read_quorum_seen st && not (Config.write_covered st.config st.written)
+      then
+        List.filter_map
+          (fun d ->
+            let n = attempts_at st.write_requested d in
+            if n < st.max_attempts then
+              Some (Action.Request_create (write_access_name st d n))
+            else None)
+          st.dms
+      else []
+    in
+    let commit =
+      if can_request_commit st then
+        [ Action.Request_commit (st.self, Value.Nil) ]
+      else []
+    in
+    read_reqs @ write_reqs @ commit
+
+(** [make ~self ~item ()] builds the write-TM automaton named [self]
+    (whose name determines [value(T)]) for logical item [item]. *)
+let make ~(self : Txn.t) ~(item : Item.t) ?(max_attempts = 3) () :
+    Component.t =
+  let value =
+    match Txn.data_of self with
+    | Some v -> v
+    | None ->
+        invalid_arg "Write_tm.make: TM name does not carry a value"
+  in
+  let state =
+    {
+      self;
+      item = item.Item.name;
+      value;
+      dms = item.Item.dms;
+      config = item.Item.config;
+      max_attempts;
+      awake = false;
+      data_vn = 0;
+      read_requested = Txn.Set.empty;
+      write_requested = Txn.Set.empty;
+      read = [];
+      written = [];
+    }
+  in
+  Automaton.make
+    ~name:(Fmt.str "write-tm:%s" (Txn.to_string self))
+    ~is_input:(fun a ->
+      match a with
+      | Action.Create t -> Txn.equal t self
+      | Action.Commit (t, _) | Action.Abort t -> is_child_access state t
+      | Action.Request_create _ | Action.Request_commit _ -> false)
+    ~is_output:(fun a ->
+      match a with
+      | Action.Request_create t -> is_child_access state t
+      | Action.Request_commit (t, _) -> Txn.equal t self
+      | Action.Create _ | Action.Commit _ | Action.Abort _ -> false)
+    ~state ~transition ~enabled
+    ~pp:(fun st ->
+      Fmt.str "write-tm %a: awake=%b vn=%d read={%a} written={%a}" Txn.pp
+        st.self st.awake st.data_vn
+        Fmt.(list ~sep:(any ",") string)
+        st.read
+        Fmt.(list ~sep:(any ",") string)
+        st.written)
+    ()

@@ -1,0 +1,14 @@
+(** Write transaction managers (paper Section 3.1): discover the
+    current version number from a read-quorum, then install
+    [(vn + 1, value(T))] at a write-quorum, returning [nil].  The
+    value written is carried by the TM's own name.  Faithful subtlety:
+    a read-access COMMIT arriving after write accesses were invoked no
+    longer updates the state, preventing the TM from seeing its own
+    writes. *)
+
+open Ioa
+
+val make : self:Txn.t -> item:Item.t -> ?max_attempts:int -> unit -> Component.t
+(** The write-TM automaton named [self] (whose name determines
+    [value(T)]) for [item].
+    @raise Invalid_argument when the name carries no value. *)

@@ -1,0 +1,7 @@
+(** Exhaustive exploration of the reconfigurable system (Section 4):
+    every schedule of a small instance, spy-fired reconfigurations
+    included, checked against well-formedness and the invariants. *)
+
+val check_description :
+  ?budget:int -> ?include_aborts:bool -> ?max_attempts:int -> Description.t ->
+  Quorum.Explore.stats

@@ -1,0 +1,14 @@
+(** Random generation of reconfigurable system descriptions. *)
+
+type params = {
+  max_items : int;
+  max_dms : int;
+  max_depth : int;
+  max_children : int;
+  max_candidates : int;
+  max_recons_per_txn : int;
+}
+
+val default_params : params
+val config : Qc_util.Prng.t -> string list -> Quorum.Config.t
+val description : ?params:params -> Qc_util.Prng.t -> Description.t

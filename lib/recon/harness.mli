@@ -1,0 +1,29 @@
+(** End-to-end harness for the reconfigurable system: run, check
+    well-formedness, the Section 4 invariants, and the simulation. *)
+
+open Ioa
+
+val run :
+  ?max_steps:int -> ?abort_rate:float -> seed:int -> Description.t ->
+  System.run_result
+
+type report = {
+  seed : int;
+  steps : int;
+  quiescent : bool;
+  recons_fired : int;
+  logical_states : (string * Value.t) list;
+}
+
+val count_recons : Schedule.t -> int
+(** Committed reconfigure-TMs in a schedule. *)
+
+val check_all : Description.t -> Schedule.t -> (unit, string) result
+
+val run_and_check :
+  ?params:Gen.params ->
+  ?max_steps:int ->
+  ?abort_rate:float ->
+  seed:int ->
+  unit ->
+  (report, string) result

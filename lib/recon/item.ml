@@ -1,0 +1,43 @@
+(** Logical data items for the reconfigurable algorithm (Section 4).
+
+    In addition to the fixed-configuration data, a reconfigurable item
+    fixes the configuration all replicas hold initially (at generation
+    0) and the menu of candidate configurations the spies may install
+    at run time.  Every candidate must be legal over [dm(x)]. *)
+
+open Ioa
+module Config = Quorum.Config
+
+type t = {
+  name : string;
+  dms : string list;
+  initial : Value.t;  (** [i_x] *)
+  initial_config : Config.t;  (** generation-0 configuration *)
+  candidates : Config.t list;  (** configurations reconfiguration may install *)
+}
+
+let make ~name ~dms ~initial ~initial_config ~candidates =
+  let check c =
+    if not (Config.legal c) then
+      invalid_arg (Fmt.str "Recon.Item.make %s: illegal configuration" name);
+    if not (List.for_all (fun d -> List.mem d dms) (Config.members c)) then
+      invalid_arg
+        (Fmt.str "Recon.Item.make %s: configuration mentions foreign DMs" name)
+  in
+  check initial_config;
+  List.iter check candidates;
+  (* deduplicate: a repeated candidate would create duplicate
+     reconfigure-TM components *)
+  let candidates =
+    List.fold_left
+      (fun acc c -> if List.exists (Config.equal c) acc then acc else acc @ [ c ])
+      [] candidates
+  in
+  { name; dms; initial; initial_config; candidates }
+
+(** Initial replica state: version 0, [i_x], generation 0, the
+    initial configuration (Section 4: "all replicas of x initially
+    hold the same configuration and generation number"). *)
+let dm_initial t =
+  Value.Recon_state
+    { version = 0; data = t.initial; generation = 0; config = t.initial_config }

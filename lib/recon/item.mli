@@ -1,0 +1,27 @@
+(** Logical items for the reconfigurable algorithm (paper Section 4):
+    fixed-case data plus the generation-0 configuration and the menu
+    of candidate configurations spies may install. *)
+
+open Ioa
+module Config = Quorum.Config
+
+type t = {
+  name : string;
+  dms : string list;
+  initial : Value.t;
+  initial_config : Config.t;
+  candidates : Config.t list;  (** deduplicated by {!make} *)
+}
+
+val make :
+  name:string ->
+  dms:string list ->
+  initial:Value.t ->
+  initial_config:Config.t ->
+  candidates:Config.t list ->
+  t
+(** @raise Invalid_argument on illegal or foreign-DM configurations. *)
+
+val dm_initial : t -> Value.t
+(** [Recon_state { version = 0; data = i_x; generation = 0;
+    config = initial_config }]. *)

@@ -1,0 +1,40 @@
+(** The Section 4 analogue of the Theorem 10 simulation checker:
+    every schedule of the reconfigurable replicated serial system,
+    with all replica accesses, coordinators, and reconfigure-TM
+    subtrees erased, must replay as a schedule of the non-replicated
+    serial system A — and every user transaction's view must be
+    preserved.  Reconfiguration is thereby checked to be transparent:
+    system A has no notion of configurations at all. *)
+
+open Ioa
+
+let project (d : Description.t) (sched : Schedule.t) : Schedule.t =
+  Schedule.erase (Description.erased_in_projection d) sched
+
+let ( let* ) = Result.bind
+
+let check (d : Description.t) (beta : Schedule.t) : (unit, string) result =
+  let alpha = project d beta in
+  let plain = Description.to_plain d in
+  let* () =
+    match System.replay (Quorum.System_a.build plain) alpha with
+    | Ok _ -> Ok ()
+    | Error e ->
+        Error
+          (Fmt.str "recon simulation: projection does not replay on A: %s" e)
+  in
+  let views_agree =
+    List.for_all
+      (fun u ->
+        (* the user's view must be identical modulo the erased
+           reconfigure-TM returns, which the user never sees by
+           construction: compare full views in alpha against
+           recon-erased views in beta *)
+        Schedule.equal (Schedule.view_of u alpha)
+          (Schedule.project
+             (fun a -> not (Description.erased_in_projection d (Action.txn a)))
+             (Schedule.view_of u beta)))
+      (Description.user_txns d)
+  in
+  if views_agree then Ok ()
+  else Error "recon simulation: a user transaction's view differs"

@@ -1,0 +1,10 @@
+(** The Section 4 analogue of the Theorem 10 checker: with replica
+    accesses, coordinators and reconfigure-TM subtrees erased, every
+    schedule of the reconfigurable system replays on the
+    non-replicated system A with user views preserved —
+    reconfiguration is transparent. *)
+
+open Ioa
+
+val project : Description.t -> Schedule.t -> Schedule.t
+val check : Description.t -> Schedule.t -> (unit, string) result

@@ -1,0 +1,55 @@
+(** The reconfigurable replicated serial system (Section 4's
+    redefinition of system B).
+
+    Components: the serial scheduler; the scripted user transactions;
+    one spy per user transaction; read-/write-TMs for every scripted
+    logical access and reconfigure-TMs for every spy menu entry (each
+    TM paired with its coordinator family); and the reconfigurable
+    DMs plus any raw basic objects. *)
+
+open Ioa
+
+let build ?(max_attempts = 3) (d : Description.t) : System.t =
+  let scheduler = Serial.Scheduler.make () in
+  let txns =
+    Serial.User_txn.make_tree ~no_commit:true ~self:Txn.root d.root_script
+  in
+  let spies =
+    List.map
+      (fun user ->
+        let menu =
+          List.concat_map
+            (fun (i : Item.t) ->
+              List.map (fun c -> (i, c)) i.Item.candidates)
+            d.Description.items
+        in
+        Spy.make ~user ~menu ~max_recons:d.Description.max_recons_per_txn ())
+      (Description.user_txns d)
+  in
+  let logical_tms =
+    List.concat_map
+      (fun (name, item, kind) -> Tm.make ~self:name ~item ~kind ~max_attempts ())
+      (Description.tm_names d)
+  in
+  let recon_tms =
+    List.concat_map
+      (fun (name, item, config) ->
+        Tm.make ~self:name ~item ~kind:(Tm.Reconfigure config) ~max_attempts ())
+      (Description.recon_tm_names d)
+  in
+  let dms =
+    List.concat_map
+      (fun (i : Item.t) ->
+        List.map (fun name -> Dm.make ~item:i ~name ()) i.Item.dms)
+      d.Description.items
+  in
+  let raws =
+    List.map
+      (fun (name, initial) -> Serial.Rw_object.make ~name ~initial ())
+      d.Description.raw_objects
+  in
+  System.compose
+    ((scheduler :: txns) @ spies @ logical_tms @ recon_tms @ dms @ raws)
+
+let check_wellformed (d : Description.t) sched =
+  Wellformed.check ~is_access:(Description.is_access_b d) sched

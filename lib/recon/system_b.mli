@@ -1,0 +1,7 @@
+(** The reconfigurable replicated serial system (Section 4's
+    redefinition of system B): scheduler, user transactions, spies,
+    read-/write-/reconfigure-TMs with coordinator families,
+    reconfigurable DMs, raw objects. *)
+
+val build : ?max_attempts:int -> Description.t -> Ioa.System.t
+val check_wellformed : Description.t -> Ioa.Schedule.t -> (unit, string) result

@@ -1,0 +1,97 @@
+(** Read-write objects (Section 2.3), the fully-specified basic
+    objects used to model replicas and non-replicated data items.
+
+    A read-write object [O] over domain [D] with initial value [d]
+    has state (active, data): [active] holds the name of the current
+    access (initially nil = [None]); [data] holds an element of [D].
+    Each access [T] to [O] carries the attributes [kind(T)] in
+    {read, write} and, for writes, [data(T)] in [D]; in this
+    repository those attributes are read off the access's name (see
+    {!Ioa.Txn}).
+
+    On a read access the object returns its data; on a write access
+    it returns [nil] and installs the access's data.  The [merge]
+    parameter generalizes the install step for the reconfigurable
+    replicas of Section 4, whose write accesses may update only the
+    data part or only the configuration part of the state; the default
+    [merge] replaces the state wholesale, which is exactly the paper's
+    Section 2.3 object. *)
+
+open Ioa
+
+type state = { active : Txn.t option; data : Value.t }
+
+(* An access belongs to this object when its final name segment is an
+   Access segment naming the object. *)
+let is_access_of obj t =
+  match Txn.obj_of t with Some o -> String.equal o obj | None -> false
+
+let transition ~merge obj (st : state) (a : Action.t) : state option =
+  match a with
+  | Action.Create t when is_access_of obj t -> Some { st with active = Some t }
+  | Action.Request_commit (t, v) when is_access_of obj t -> (
+      match st.active with
+      | Some t' when Txn.equal t t' -> (
+          match Txn.kind_of t with
+          | Some Txn.Read ->
+              if Value.equal v st.data then Some { active = None; data = st.data }
+              else None
+          | Some Txn.Write ->
+              if Value.equal v Value.Nil then
+                let written =
+                  match Txn.data_of t with Some d -> d | None -> Value.Nil
+                in
+                Some { active = None; data = merge ~current:st.data written }
+              else None
+          | None -> None)
+      | Some _ | None -> None)
+  | Action.Create _ | Action.Request_commit _ | Action.Request_create _
+  | Action.Commit _ | Action.Abort _ ->
+      None
+
+let enabled (st : state) : Action.t list =
+  match st.active with
+  | None -> []
+  | Some t -> (
+      match Txn.kind_of t with
+      | Some Txn.Read -> [ Action.Request_commit (t, st.data) ]
+      | Some Txn.Write -> [ Action.Request_commit (t, Value.Nil) ]
+      | None -> [])
+
+let replace ~current:_ written = written
+
+(** [make ~name ~initial ()] builds the Section 2.3 read-write object.
+    [merge] defaults to replacement. *)
+let make ~name ~initial ?(merge = replace) () : Component.t =
+  Automaton.make
+    ~name:(Fmt.str "object:%s" name)
+    ~is_input:(fun a ->
+      match a with Action.Create t -> is_access_of name t | _ -> false)
+    ~is_output:(fun a ->
+      match a with
+      | Action.Request_commit (t, _) -> is_access_of name t
+      | _ -> false)
+    ~state:{ active = None; data = initial }
+    ~transition:(transition ~merge name) ~enabled
+    ~pp:(fun st ->
+      Fmt.str "object %s: data=%a active=%a" name Value.pp st.data
+        Fmt.(option ~none:(any "-") Txn.pp)
+        st.active)
+    ()
+
+(** Recompute a read-write object's data after a schedule: the data
+    written by the last write access to [name] with a REQUEST_COMMIT
+    in the schedule, or [initial] if none.  Used by the invariant
+    checkers, which work from schedules alone. *)
+let data_after ~name ~initial ?(merge = replace) (sched : Schedule.t) :
+    Value.t =
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Action.Request_commit (t, _)
+        when is_access_of name t && Txn.kind_of t = Some Txn.Write -> (
+          match Txn.data_of t with
+          | Some d -> merge ~current:acc d
+          | None -> acc)
+      | _ -> acc)
+    initial sched

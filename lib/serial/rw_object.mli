@@ -1,0 +1,28 @@
+(** Read-write objects (paper Section 2.3): the fully-specified basic
+    objects modelling replicas and non-replicated data.  Access
+    attributes are read off the access's name; the [merge] parameter
+    generalizes the install step for the Section 4 reconfigurable
+    replicas (partial updates), defaulting to plain replacement. *)
+
+open Ioa
+
+val replace : current:Value.t -> Value.t -> Value.t
+(** The default merge: the written value replaces the state. *)
+
+val make :
+  name:string ->
+  initial:Value.t ->
+  ?merge:(current:Value.t -> Value.t -> Value.t) ->
+  unit ->
+  Component.t
+(** The Section 2.3 read-write object named [name]. *)
+
+val data_after :
+  name:string ->
+  initial:Value.t ->
+  ?merge:(current:Value.t -> Value.t -> Value.t) ->
+  Schedule.t ->
+  Value.t
+(** Recompute the object's data from a schedule: fold the committed
+    write accesses.  Used by the invariant checkers, which work from
+    schedules alone. *)

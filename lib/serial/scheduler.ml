@@ -1,0 +1,142 @@
+(** The serial scheduler (Section 2.2), transcribed verbatim.
+
+    The serial scheduler is the one fully-specified automaton of a
+    serial system.  It runs the transaction tree as a depth-first
+    traversal: a transaction is created only if its creation was
+    requested, it was not yet created or aborted, and all its created
+    siblings have returned; it commits only after all its
+    create-requested children have returned; and it may
+    nondeterministically abort any transaction whose creation was
+    requested but which has not yet been created (the semantics of
+    ABORT(T) being that [T] never ran).
+
+    State components and pre/postconditions follow the paper exactly:
+
+    - create_requested (initially [{T0}]), created, aborted, returned:
+      sets of transaction names;
+    - commit_requested: a set of (transaction, value) pairs.
+
+    Input operations: REQUEST_CREATE(T), REQUEST_COMMIT(T,v) for all T.
+    Output operations: CREATE(T), COMMIT(T,v), ABORT(T) for all T. *)
+
+open Ioa
+
+type state = {
+  create_requested : Txn.Set.t;
+  created : Txn.Set.t;
+  commit_requested : (Txn.t * Value.t) list;
+  committed : (Txn.t * Value.t) list;
+  aborted : Txn.Set.t;
+  returned : Txn.Set.t;
+}
+
+let initial_state =
+  {
+    create_requested = Txn.Set.singleton Txn.root;
+    created = Txn.Set.empty;
+    commit_requested = [];
+    committed = [];
+    aborted = Txn.Set.empty;
+    returned = Txn.Set.empty;
+  }
+
+(* created siblings of [t] — members of [created] with the same
+   parent, other than [t] itself. *)
+let created_siblings st t =
+  if Txn.is_root t then Txn.Set.empty
+  else Txn.Set.filter (fun u -> Txn.are_siblings t u) st.created
+
+(* children of [t] whose creation has been requested. *)
+let create_requested_children st t =
+  Txn.Set.filter
+    (fun u -> (not (Txn.is_root u)) && Txn.equal (Txn.parent u) t)
+    st.create_requested
+
+let subset = Txn.Set.subset
+
+(* Precondition of CREATE(T). *)
+let can_create st t =
+  Txn.Set.mem t st.create_requested
+  && (not (Txn.Set.mem t st.created))
+  && (not (Txn.Set.mem t st.aborted))
+  && subset (created_siblings st t) st.returned
+
+(* Precondition of ABORT(T).  Identical candidate set to CREATE: the
+   serial scheduler only aborts transactions that were never created.
+   The root models the environment and may neither commit nor abort. *)
+let can_abort st t = (not (Txn.is_root t)) && can_create st t
+
+(* Precondition of COMMIT(T,v). *)
+let can_commit st (t, _v) =
+  (not (Txn.Set.mem t st.returned))
+  && subset (create_requested_children st t) st.returned
+
+let transition (st : state) (a : Action.t) : state option =
+  match a with
+  | Action.Request_create t ->
+      Some { st with create_requested = Txn.Set.add t st.create_requested }
+  | Action.Request_commit (t, v) ->
+      Some { st with commit_requested = (t, v) :: st.commit_requested }
+  | Action.Create t ->
+      if can_create st t then Some { st with created = Txn.Set.add t st.created }
+      else None
+  | Action.Commit (t, v) ->
+      if
+        List.exists
+          (fun (t', v') -> Txn.equal t t' && Value.equal v v')
+          st.commit_requested
+        && can_commit st (t, v)
+      then
+        Some
+          {
+            st with
+            committed = (t, v) :: st.committed;
+            returned = Txn.Set.add t st.returned;
+          }
+      else None
+  | Action.Abort t ->
+      if can_abort st t then
+        Some
+          {
+            st with
+            aborted = Txn.Set.add t st.aborted;
+            returned = Txn.Set.add t st.returned;
+          }
+      else None
+
+let enabled (st : state) : Action.t list =
+  let creates =
+    Txn.Set.fold
+      (fun t acc -> if can_create st t then Action.Create t :: acc else acc)
+      st.create_requested []
+  in
+  let aborts =
+    Txn.Set.fold
+      (fun t acc -> if can_abort st t then Action.Abort t :: acc else acc)
+      st.create_requested []
+  in
+  let commits =
+    List.filter_map
+      (fun (t, v) ->
+        if can_commit st (t, v) then Some (Action.Commit (t, v)) else None)
+      st.commit_requested
+  in
+  creates @ commits @ aborts
+
+let pp_state st =
+  Fmt.str "scheduler: created=%d returned=%d aborted=%d pending_commit=%d"
+    (Txn.Set.cardinal st.created)
+    (Txn.Set.cardinal st.returned)
+    (Txn.Set.cardinal st.aborted)
+    (List.length st.commit_requested)
+
+let is_input = function
+  | Action.Request_create _ | Action.Request_commit _ -> true
+  | Action.Create _ | Action.Commit _ | Action.Abort _ -> false
+
+let is_output a = not (is_input a)
+
+(** The serial scheduler as a component. *)
+let make () : Component.t =
+  Automaton.make ~name:"serial-scheduler" ~is_input ~is_output
+    ~state:initial_state ~transition ~enabled ~pp:pp_state ()

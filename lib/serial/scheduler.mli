@@ -1,0 +1,36 @@
+(** The serial scheduler (paper Section 2.2), transcribed verbatim:
+    runs the transaction tree as a depth-first traversal, may
+    nondeterministically abort any transaction not yet created, and
+    commits a transaction only after all its create-requested children
+    have returned. *)
+
+open Ioa
+
+type state = {
+  create_requested : Txn.Set.t;
+  created : Txn.Set.t;
+  commit_requested : (Txn.t * Value.t) list;
+  committed : (Txn.t * Value.t) list;
+  aborted : Txn.Set.t;
+  returned : Txn.Set.t;
+}
+
+val initial_state : state
+(** [create_requested = {T0}], everything else empty. *)
+
+val transition : state -> Action.t -> state option
+(** The paper's pre/postconditions; [None] = precondition fails. *)
+
+val enabled : state -> Action.t list
+(** Currently-enabled CREATE / COMMIT / ABORT operations. *)
+
+val pp_state : state -> string
+
+val is_input : Action.t -> bool
+(** REQUEST_CREATE and REQUEST_COMMIT, for all transactions. *)
+
+val is_output : Action.t -> bool
+(** CREATE, COMMIT and ABORT, for all transactions. *)
+
+val make : unit -> Component.t
+(** The serial scheduler as a component. *)

@@ -1,0 +1,249 @@
+(** Scripted user-transaction automata.
+
+    The paper leaves transaction automata "largely unspecified",
+    requiring only that they preserve well-formedness.  For executable
+    systems we instantiate them with {e scripts}: a user transaction
+    requests the creation of a statically-known list of children
+    (nested sub-transactions, logical accesses, or raw object
+    accesses), collects their returns, and finally requests to commit
+    with a value computed from the collected outcomes.
+
+    Scripts deliberately exercise the model's permissiveness:
+    - [ordered = false] children may be requested in any order, the
+      driver's PRNG choosing (the serial scheduler still serializes
+      their execution);
+    - the returned value is an arbitrary function of the children's
+      outcomes, so two systems agree on a user transaction's view iff
+      they agree on every child return — exactly what Theorem 10's
+      condition 2 compares.
+
+    The same script denotes the same automaton in the replicated
+    system B and the non-replicated system A: child names are shared
+    (see {!Ioa.Txn}), and whether an [Access]-named child is a
+    transaction manager or a genuine access is a property of the
+    surrounding system, invisible to the parent. *)
+
+open Ioa
+
+type outcome = Committed of Value.t | Aborted
+
+(** One child of a scripted transaction. *)
+type node =
+  | Access_child of Txn.seg
+      (** an [Access]-named child: a logical access (TM in system B,
+          access in system A) or a raw access to a basic object *)
+  | Sub of string * script  (** a nested user transaction *)
+
+and script = {
+  children : node list;
+  ordered : bool;
+      (** request children strictly in list order, each after the
+          previous one's return; otherwise any order *)
+  eager : bool;
+      (** may request to commit at any time after creation, without
+          waiting for (or even requesting) its children — the paper
+          explicitly allows this ("the model allows a transaction to
+          request to commit without discovering the fate of all
+          subtransactions whose creation it has requested") *)
+  returns : (Txn.seg * outcome) list -> Value.t;
+      (** the REQUEST_COMMIT value, from outcomes in child-list order *)
+}
+
+let seg_of_node = function
+  | Access_child s -> s
+  | Sub (name, _) -> Txn.Seg name
+
+(** Canned return functions. *)
+let return_nil (_ : (Txn.seg * outcome) list) = Value.Nil
+
+(** Return the list of child outcomes: committed values verbatim,
+    aborts as [Nil].  Makes the commit value a fingerprint of the
+    transaction's entire view, strengthening cross-system checks. *)
+let return_all (outs : (Txn.seg * outcome) list) =
+  Value.List
+    (List.map
+       (function _, Committed v -> v | _, Aborted -> Value.Nil)
+       outs)
+
+type state = {
+  self : Txn.t;
+  children : Txn.seg list;
+  ordered : bool;
+  eager : bool;
+  no_commit : bool;
+  created : bool;
+  requested : int list;  (** indices of requested children *)
+  outcomes : (int * outcome) list;
+  requested_commit : bool;
+}
+
+let child_name st i = Txn.child st.self (List.nth st.children i)
+
+let index_of_child st (t : Txn.t) =
+  if Txn.is_root t || not (Txn.equal (Txn.parent t) st.self) then None
+  else
+    match Txn.last_seg t with
+    | None -> None
+    | Some seg ->
+        let rec find i = function
+          | [] -> None
+          | s :: rest ->
+              if Txn.seg_equal s seg then Some i else find (i + 1) rest
+        in
+        find 0 st.children
+
+let all_returned st =
+  List.length st.outcomes = List.length st.children
+  && List.length st.requested = List.length st.children
+
+(* May the transaction request to commit now?  Eager transactions may
+   do so any time after creation; patient ones wait for every child
+   to return. *)
+let may_commit st =
+  st.created && (not st.requested_commit) && (not st.no_commit)
+  && (st.eager || all_returned st)
+
+(* Which child indices may be requested now? *)
+let requestable st =
+  if (not st.created) || st.requested_commit then []
+  else
+    let n = List.length st.children in
+    let unrequested =
+      List.filter
+        (fun i -> not (List.mem i st.requested))
+        (List.init n (fun i -> i))
+    in
+    if not st.ordered then unrequested
+    else
+      (* strictly in order: the smallest unrequested index, and only
+         once every smaller index has returned *)
+      match unrequested with
+      | [] -> []
+      | i :: _ ->
+          let prior_returned =
+            List.for_all
+              (fun j -> j >= i || List.mem_assoc j st.outcomes)
+              (List.init n (fun j -> j))
+          in
+          if prior_returned then [ i ] else []
+
+let commit_value ~returns st =
+  let outs =
+    List.mapi
+      (fun i seg ->
+        match List.assoc_opt i st.outcomes with
+        | Some o -> (seg, o)
+        | None -> (seg, Aborted))
+      st.children
+  in
+  returns outs
+
+let transition ~returns (st : state) (a : Action.t) : state option =
+  match a with
+  | Action.Create t when Txn.equal t st.self -> Some { st with created = true }
+  | Action.Commit (c, v) -> (
+      match index_of_child st c with
+      | Some i -> Some { st with outcomes = (i, Committed v) :: st.outcomes }
+      | None -> None)
+  | Action.Abort c -> (
+      match index_of_child st c with
+      | Some i -> Some { st with outcomes = (i, Aborted) :: st.outcomes }
+      | None -> None)
+  | Action.Request_create c -> (
+      match index_of_child st c with
+      | Some i when List.mem i (requestable st) ->
+          Some { st with requested = i :: st.requested }
+      | Some _ | None -> None)
+  | Action.Request_commit (t, v) when Txn.equal t st.self ->
+      if may_commit st && Value.equal v (commit_value ~returns st) then
+        Some { st with requested_commit = true }
+      else None
+  | Action.Create _ | Action.Request_commit _ -> None
+
+let enabled ~returns (st : state) : Action.t list =
+  let reqs =
+    List.map (fun i -> Action.Request_create (child_name st i)) (requestable st)
+  in
+  let commit =
+    if may_commit st then
+      [ Action.Request_commit (st.self, commit_value ~returns st) ]
+    else []
+  in
+  reqs @ commit
+
+(** [make ~self script] builds the transaction automaton for the
+    script at name [self].  [no_commit] is used for the root
+    transaction, which models the environment and never commits. *)
+let make ?(no_commit = false) ~(self : Txn.t) (script : script) : Component.t
+    =
+  let children = List.map seg_of_node script.children in
+  let state =
+    {
+      self;
+      children;
+      ordered = script.ordered;
+      eager = script.eager;
+      no_commit;
+      created = false;
+      requested = [];
+      outcomes = [];
+      requested_commit = false;
+    }
+  in
+  let is_child t =
+    (not (Txn.is_root t))
+    && Txn.equal (Txn.parent t) self
+    && List.exists
+         (fun s ->
+           match Txn.last_seg t with
+           | Some seg -> Txn.seg_equal s seg
+           | None -> false)
+         children
+  in
+  Automaton.make
+    ~name:(Fmt.str "txn:%s" (Txn.to_string self))
+    ~is_input:(fun a ->
+      match a with
+      | Action.Create t -> Txn.equal t self
+      | Action.Commit (c, _) | Action.Abort c -> is_child c
+      | Action.Request_create _ | Action.Request_commit _ -> false)
+    ~is_output:(fun a ->
+      match a with
+      | Action.Request_create c -> is_child c
+      | Action.Request_commit (t, _) -> Txn.equal t self
+      | Action.Create _ | Action.Commit _ | Action.Abort _ -> false)
+    ~state
+    ~transition:(transition ~returns:script.returns)
+    ~enabled:(enabled ~returns:script.returns)
+    ~pp:(fun st ->
+      Fmt.str "txn %a: created=%b requested=%d returned=%d done=%b"
+        Txn.pp st.self st.created (List.length st.requested)
+        (List.length st.outcomes) st.requested_commit)
+    ()
+
+(** Build automata for a script tree rooted at [self]: the automaton
+    for [self] plus, recursively, automata for all [Sub] descendants.
+    [Access_child]ren get no automaton here — the enclosing system
+    decides whether they are TMs (system B) or accesses (system A). *)
+let rec make_tree ?(no_commit = false) ~(self : Txn.t) (script : script) :
+    Component.t list =
+  let here = make ~no_commit ~self script in
+  let subs =
+    List.concat_map
+      (function
+        | Access_child _ -> []
+        | Sub (name, sub) ->
+            make_tree ~self:(Txn.child self (Txn.Seg name)) sub)
+      script.children
+  in
+  here :: subs
+
+(** All [Access_child] names in a script tree, with their full names. *)
+let rec access_children ~(self : Txn.t) (script : script) :
+    Txn.t list =
+  List.concat_map
+    (function
+      | Access_child seg -> [ Txn.child self seg ]
+      | Sub (name, sub) ->
+          access_children ~self:(Txn.child self (Txn.Seg name)) sub)
+    script.children

@@ -1,0 +1,53 @@
+(** Scripted user-transaction automata: a transaction requests a
+    statically-known list of children (nested subtransactions, logical
+    accesses, raw object accesses), collects their returns, and
+    requests to commit with a value computed from the outcomes.  The
+    same script denotes the same automaton in the replicated system B
+    and the non-replicated system A (child names are shared). *)
+
+open Ioa
+
+type outcome = Committed of Value.t | Aborted
+
+(** One child of a scripted transaction. *)
+type node =
+  | Access_child of Txn.seg
+      (** an [Access]-named child: logical access (TM in system B,
+          access in system A) or raw access to a basic object *)
+  | Sub of string * script  (** a nested user transaction *)
+
+and script = {
+  children : node list;
+  ordered : bool;
+      (** request children strictly in order, each after the previous
+          one's return; otherwise any order (sibling concurrency in
+          non-serial systems) *)
+  eager : bool;
+      (** may request to commit at any time after creation, without
+          waiting for (or requesting) its children — permitted by the
+          model; the serial scheduler still delays the COMMIT until
+          every requested child has returned *)
+  returns : (Txn.seg * outcome) list -> Value.t;
+      (** the REQUEST_COMMIT value, from outcomes in child-list order *)
+}
+
+val seg_of_node : node -> Txn.seg
+
+val return_nil : (Txn.seg * outcome) list -> Value.t
+(** Always [Nil]. *)
+
+val return_all : (Txn.seg * outcome) list -> Value.t
+(** The list of child outcomes (committed values verbatim, aborts as
+    [Nil]) — a fingerprint of the transaction's entire view,
+    strengthening cross-system comparisons. *)
+
+val make : ?no_commit:bool -> self:Txn.t -> script -> Component.t
+(** The transaction automaton for the script at name [self];
+    [no_commit] is used for the root, which never commits. *)
+
+val make_tree : ?no_commit:bool -> self:Txn.t -> script -> Component.t list
+(** The automaton for [self] plus, recursively, automata for all [Sub]
+    descendants ([Access_child]ren get no automaton here). *)
+
+val access_children : self:Txn.t -> script -> Txn.t list
+(** All [Access_child] names in a script tree, fully qualified. *)

@@ -1,0 +1,46 @@
+(** The discrete-event simulation core: a virtual clock and an event
+    queue of callbacks.  Deterministic given the seed — all randomness
+    flows through the simulation's own PRNG. *)
+
+module Prng = Qc_util.Prng
+
+type t = {
+  mutable now : float;
+  queue : (unit -> unit) Heap.t;
+  mutable seq : int;
+  rng : Prng.t;
+  mutable executed : int;
+}
+
+let create ~seed =
+  { now = 0.0; queue = Heap.create (); seq = 0; rng = Prng.create seed; executed = 0 }
+
+let now t = t.now
+let rng t = t.rng
+let executed_events t = t.executed
+
+(** [schedule t ~delay f] runs [f] at [now + delay] (clamped to now). *)
+let schedule t ~delay (f : unit -> unit) =
+  let time = t.now +. Float.max 0.0 delay in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue time t.seq f
+
+(** Run events until the queue empties or virtual time passes
+    [until]. *)
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let rec loop () =
+    if t.executed >= max_events then ()
+    else
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some (time, _, _) when time > until -> t.now <- until
+      | Some _ -> (
+          match Heap.pop t.queue with
+          | Some (time, _, f) ->
+              t.now <- time;
+              t.executed <- t.executed + 1;
+              f ();
+              loop ()
+          | None -> ())
+  in
+  loop ()

@@ -1,0 +1,16 @@
+(** The discrete-event simulation core: a virtual clock and an event
+    queue of callbacks.  Deterministic given the seed. *)
+
+type t
+
+val create : seed:int -> t
+val now : t -> float
+val rng : t -> Qc_util.Prng.t
+val executed_events : t -> int
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the callback at [now + delay] (clamped to now). *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Process events until the queue empties or virtual time passes
+    [until]. *)

@@ -1,0 +1,33 @@
+(** Failure injection: crash/recover processes driving node liveness.
+
+    Each node alternates up and down periods with exponentially
+    distributed durations (MTBF up, MTTR down), the classic model
+    behind per-site availability [p = mtbf / (mtbf + mttr)]. *)
+
+module Prng = Qc_util.Prng
+
+type spec = { mtbf : float; mttr : float }
+
+(** Long-run availability of a node under [spec]. *)
+let availability s = s.mtbf /. (s.mtbf +. s.mttr)
+
+(** Attach a crash/recover process for [node] to the network.  Runs
+    until virtual time [until]. *)
+let attach ~(sim : Core.t) ~(net : 'msg Net.t) ~node ~(spec : spec) ~until () =
+  let rng = Core.rng sim in
+  let rec up_phase () =
+    let dt = Prng.exponential rng ~mean:spec.mtbf in
+    Core.schedule sim ~delay:dt (fun () ->
+        if Core.now sim < until then begin
+          Net.crash net node;
+          down_phase ()
+        end)
+  and down_phase () =
+    let dt = Prng.exponential rng ~mean:spec.mttr in
+    Core.schedule sim ~delay:dt (fun () ->
+        if Core.now sim < until then begin
+          Net.recover net node;
+          up_phase ()
+        end)
+  in
+  up_phase ()

@@ -1,0 +1,14 @@
+(** Failure injection: nodes alternate exponentially-distributed up
+    (MTBF) and down (MTTR) periods — the classic model behind per-site
+    availability [p = mtbf / (mtbf + mttr)]. *)
+
+type spec = { mtbf : float; mttr : float }
+
+val availability : spec -> float
+(** Long-run availability under the spec. *)
+
+val attach :
+  sim:Core.t -> net:'msg Net.t -> node:string -> spec:spec -> until:float ->
+  unit -> unit
+(** Attach a crash/recover process for the node, running until the
+    given virtual time. *)

@@ -1,0 +1,77 @@
+(** A binary min-heap, the event queue of the discrete-event
+    simulator.  Keys are (time, sequence-number) pairs; the sequence
+    number breaks ties FIFO so simultaneous events run in scheduling
+    order, keeping runs deterministic. *)
+
+type 'a t = {
+  mutable data : (float * int * 'a) array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let key (t, s, _) = (t, s)
+
+let less a b = key a < key b
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.size >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap (0.0, 0, (let (_, _, x) = h.data.(0) in x)) in
+    Array.blit h.data 0 nd 0 h.size;
+    h.data <- nd
+  end
+
+let push h time seq v =
+  if Array.length h.data = 0 then h.data <- Array.make 16 (time, seq, v);
+  grow h;
+  h.data.(h.size) <- (time, seq, v);
+  h.size <- h.size + 1;
+  (* sift up *)
+  let rec up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if less h.data.(i) h.data.(p) then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(p);
+        h.data.(p) <- tmp;
+        up p
+      end
+    end
+  in
+  up (h.size - 1)
+
+let pop h : (float * int * 'a) option =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      (* sift down *)
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest =
+          if l < h.size && less h.data.(l) h.data.(i) then l else i
+        in
+        let smallest =
+          if r < h.size && less h.data.(r) h.data.(smallest) then r
+          else smallest
+        in
+        if smallest <> i then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(smallest);
+          h.data.(smallest) <- tmp;
+          down smallest
+        end
+      in
+      down 0
+    end;
+    Some top
+  end
+
+let peek h = if h.size = 0 then None else Some h.data.(0)

@@ -1,0 +1,12 @@
+(** A binary min-heap over (time, sequence-number) keys — the event
+    queue of the discrete-event simulator.  Sequence numbers break
+    ties FIFO, keeping runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> int -> 'a -> unit
+val pop : 'a t -> (float * int * 'a) option
+val peek : 'a t -> (float * int * 'a) option

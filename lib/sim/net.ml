@@ -1,0 +1,90 @@
+(** A simulated message-passing network with per-message latency,
+    loss, node crashes and link cuts.
+
+    Messages are typed ['msg]; each node registers one handler.
+    Delivery rules: a message is dropped when the sender is down at
+    send time, the destination is down at delivery time, the link is
+    cut, or the loss coin says so — there are no delivery guarantees,
+    exactly the asynchronous environment quorum consensus is built
+    for. *)
+
+module Prng = Qc_util.Prng
+
+type latency = Prng.t -> src:string -> dst:string -> float
+
+type 'msg t = {
+  sim : Core.t;
+  latency : latency;
+  mutable loss : float;
+  handlers : (string, src:string -> 'msg -> unit) Hashtbl.t;
+  up : (string, bool) Hashtbl.t;
+  cut_links : (string * string, bool) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+(** Uniform latency on [lo, hi]. *)
+let uniform_latency ~lo ~hi : latency =
+ fun rng ~src:_ ~dst:_ -> lo +. ((hi -. lo) *. Prng.float rng)
+
+(** Log-normal latency (heavy tail, the realistic default). *)
+let lognormal_latency ~mu ~sigma : latency =
+ fun rng ~src:_ ~dst:_ -> Prng.lognormal rng ~mu ~sigma
+
+let create ~(sim : Core.t) ~nodes ?(latency = uniform_latency ~lo:1.0 ~hi:5.0)
+    ?(loss = 0.0) () : 'msg t =
+  let t =
+    {
+      sim;
+      latency;
+      loss;
+      handlers = Hashtbl.create 16;
+      up = Hashtbl.create 16;
+      cut_links = Hashtbl.create 16;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+    }
+  in
+  List.iter (fun n -> Hashtbl.replace t.up n true) nodes;
+  t
+
+let register t ~node handler = Hashtbl.replace t.handlers node handler
+
+let is_up t node = Option.value ~default:false (Hashtbl.find_opt t.up node)
+
+let crash t node = Hashtbl.replace t.up node false
+let recover t node = Hashtbl.replace t.up node true
+
+let cut_link t a b =
+  Hashtbl.replace t.cut_links (a, b) true;
+  Hashtbl.replace t.cut_links (b, a) true
+
+let heal_link t a b =
+  Hashtbl.remove t.cut_links (a, b);
+  Hashtbl.remove t.cut_links (b, a)
+
+let link_cut t a b = Hashtbl.mem t.cut_links (a, b)
+
+(** Send a message; it may or may not arrive. *)
+let send t ~src ~dst (msg : 'msg) =
+  t.sent <- t.sent + 1;
+  let rng = Core.rng t.sim in
+  if (not (is_up t src)) || link_cut t src dst || Prng.float rng < t.loss then
+    t.dropped <- t.dropped + 1
+  else
+    let delay = t.latency rng ~src ~dst in
+    Core.schedule t.sim ~delay (fun () ->
+        if is_up t dst then (
+          match Hashtbl.find_opt t.handlers dst with
+          | Some h ->
+              t.delivered <- t.delivered + 1;
+              h ~src msg
+          | None -> t.dropped <- t.dropped + 1)
+        else t.dropped <- t.dropped + 1)
+
+type counters = { sent : int; delivered : int; dropped : int }
+
+let counters (t : 'msg t) =
+  { sent = t.sent; delivered = t.delivered; dropped = t.dropped }

@@ -1,0 +1,36 @@
+(** A simulated message-passing network: per-message latency from a
+    pluggable distribution, probabilistic loss, node crashes, link
+    cuts.  No delivery guarantees — the asynchronous environment
+    quorum consensus is built for. *)
+
+module Prng = Qc_util.Prng
+
+type latency = Prng.t -> src:string -> dst:string -> float
+
+type 'msg t
+
+val uniform_latency : lo:float -> hi:float -> latency
+val lognormal_latency : mu:float -> sigma:float -> latency
+(** Heavy-tailed, the realistic default. *)
+
+val create :
+  sim:Core.t -> nodes:string list -> ?latency:latency -> ?loss:float -> unit ->
+  'msg t
+
+val register : 'msg t -> node:string -> (src:string -> 'msg -> unit) -> unit
+(** Install the node's message handler (replaces any previous one). *)
+
+val is_up : 'msg t -> string -> bool
+val crash : 'msg t -> string -> unit
+val recover : 'msg t -> string -> unit
+val cut_link : 'msg t -> string -> string -> unit
+val heal_link : 'msg t -> string -> string -> unit
+val link_cut : 'msg t -> string -> string -> bool
+
+val send : 'msg t -> src:string -> dst:string -> 'msg -> unit
+(** Dropped when the sender is down at send time, the destination is
+    down at delivery time, the link is cut, or the loss coin fires. *)
+
+type counters = { sent : int; delivered : int; dropped : int }
+
+val counters : 'msg t -> counters

@@ -1,0 +1,49 @@
+(** Run-time statistics: counters and latency samples with percentile
+    summaries. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+type t = { mutable samples : float list; mutable n : int }
+
+let create () = { samples = []; n = 0 }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let summarize t : summary =
+  let a = Array.of_list t.samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then { count = 0; mean = nan; p50 = nan; p90 = nan; p99 = nan; max = nan }
+  else
+    {
+      count = n;
+      mean = Array.fold_left ( +. ) 0.0 a /. float_of_int n;
+      p50 = percentile a 0.50;
+      p90 = percentile a 0.90;
+      p99 = percentile a 0.99;
+      max = a.(n - 1);
+    }
+
+let pp_summary ppf s =
+  if s.count = 0 then Fmt.string ppf "n=0"
+  else
+    Fmt.pf ppf "n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f" s.count
+      s.mean s.p50 s.p90 s.p99 s.max

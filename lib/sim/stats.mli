@@ -1,0 +1,18 @@
+(** Latency samples with percentile summaries. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val summarize : t -> summary
+val pp_summary : summary Fmt.t

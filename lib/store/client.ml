@@ -1,0 +1,258 @@
+(** The quorum client — the practical transaction manager.
+
+    Operations follow Section 3.1's TM logic over RPC:
+    - a {e read} queries replicas until the replies contain a read
+      quorum, then returns the value with the highest version number;
+    - a {e write} first queries until a read quorum has replied (to
+      learn the current version number), then installs
+      [(vn + 1, value)] until a write quorum has acknowledged.
+
+    Requests go to all replicas and complete on the {e fastest} quorum
+    of replies, so operation latency is the order statistic the
+    strategy's minimum quorum size dictates.  An operation that cannot
+    assemble a quorum before the timeout fails — the availability
+    metric of the experiments. *)
+
+module Core = Sim.Core
+module Net = Sim.Net
+module Prng = Qc_util.Prng
+
+(** How requests are routed:
+    - [`Broadcast]: message every replica, complete on the fastest
+      quorum of replies — latency-optimal (a quorum-wide hedge), but
+      every operation costs 2n messages and loads every replica;
+    - [`Quorum]: message one randomly chosen minimal quorum and wait
+      for all of it — n/|q| fewer messages and tunable load (grid
+      quorums spread it), at the cost of tail latency (slowest member
+      of the chosen quorum) and availability (no fallback when a
+      chosen member is down). *)
+type targeting = [ `Broadcast | `Quorum ]
+
+type phase =
+  | PRead
+  | PWrite_query of int  (** the value waiting to be installed *)
+  | PInstall
+
+type pending = {
+  key : string;
+  mutable phase : phase;
+  mutable rid : int;  (** current request id (changes at phase switch) *)
+  mutable mask : int;  (** bitmask of replicas heard from this phase *)
+  mutable best_vn : int;
+  mutable best_value : int;
+  mutable replies : (int * int) list;  (** (replica index, vn) seen *)
+  mutable live : bool;
+  started : float;
+  on_done : ok:bool -> vn:int -> value:int -> latency:float -> unit;
+}
+
+type t = {
+  name : string;
+  sim : Core.t;
+  net : Protocol.msg Net.t;
+  replicas : string array;
+  mutable strategy : Strategy.t;
+  mutable next_rid : int;
+  pending : (int, pending) Hashtbl.t;
+  timeout : float;
+  read_repair : bool;
+      (** when a read observes stale replicas among the replies, push
+          the newest (version, value) back to them — asynchronous
+          anti-entropy riding on the read path *)
+  targeting : targeting;
+  rng : Prng.t;  (** quorum choice in [`Quorum] mode *)
+  mutable repairs_sent : int;
+  mutable ops_ok : int;
+  mutable ops_failed : int;
+}
+
+let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
+    ?(read_repair = false) ?(targeting = `Broadcast) ?(seed = 1) () =
+  let t =
+    {
+      name;
+      sim;
+      net;
+      replicas;
+      strategy;
+      next_rid = 0;
+      pending = Hashtbl.create 16;
+      timeout;
+      read_repair;
+      targeting;
+      rng = Prng.create seed;
+      repairs_sent = 0;
+      ops_ok = 0;
+      ops_failed = 0;
+    }
+  in
+  t
+
+let replica_index t name =
+  let rec go i =
+    if i >= Array.length t.replicas then None
+    else if String.equal t.replicas.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let fresh_rid t =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  rid
+
+let broadcast t ~rid msg_of_replica =
+  Array.iter
+    (fun r -> Net.send t.net ~src:t.name ~dst:r (msg_of_replica rid))
+    t.replicas
+
+(* Route a request per the targeting mode: everyone, or the members of
+   one randomly chosen minimal quorum of the given side. *)
+let route t ~rid ~side msg_of_replica =
+  match t.targeting with
+  | `Broadcast -> broadcast t ~rid msg_of_replica
+  | `Quorum ->
+      let masks =
+        match side with
+        | `Read -> Strategy.minimal_read_quorums t.strategy
+        | `Write -> Strategy.minimal_write_quorums t.strategy
+      in
+      (* a latency-greedy client prefers the smallest quorums (fewest
+         replies to wait for), random among ties — this is what makes
+         load concentration visible for weighted schemes, whose small
+         quorums all contain the big-vote site *)
+      let min_card =
+        List.fold_left (fun m q -> min m (Strategy.popcount q)) max_int masks
+      in
+      let smallest =
+        List.filter (fun q -> Strategy.popcount q = min_card) masks
+      in
+      let mask = Prng.choose t.rng smallest in
+      Array.iteri
+        (fun i r ->
+          if mask land (1 lsl i) <> 0 then
+            Net.send t.net ~src:t.name ~dst:r (msg_of_replica rid))
+        t.replicas
+
+(* Push the newest (version, value) to the stale replicas a read saw.
+   Fire-and-forget: repairs carry a fresh rid no pending entry ever
+   matches, so late acks are ignored. *)
+let send_repairs t (p : pending) =
+  List.iter
+    (fun (i, vn) ->
+      if vn < p.best_vn then begin
+        t.repairs_sent <- t.repairs_sent + 1;
+        let rid = fresh_rid t in
+        Net.send t.net ~src:t.name ~dst:t.replicas.(i)
+          (Protocol.Install_req
+             { rid; key = p.key; vn = p.best_vn; value = p.best_value })
+      end)
+    p.replies
+
+let finish t (p : pending) ~ok =
+  if p.live then begin
+    p.live <- false;
+    Hashtbl.remove t.pending p.rid;
+    if ok then t.ops_ok <- t.ops_ok + 1 else t.ops_failed <- t.ops_failed + 1;
+    if ok && t.read_repair && p.phase = PRead then send_repairs t p;
+    p.on_done ~ok ~vn:p.best_vn ~value:p.best_value
+      ~latency:(Core.now t.sim -. p.started)
+  end
+
+(* The timeout covers the whole operation, across phase switches. *)
+let arm_timeout t (p : pending) =
+  Core.schedule t.sim ~delay:t.timeout (fun () ->
+      if p.live then finish t p ~ok:false)
+
+(* Move a write from the query phase to the install phase: a new rid,
+   a fresh reply mask, same pending record (latency spans both). *)
+let start_install t (p : pending) ~value =
+  let rid = fresh_rid t in
+  p.phase <- PInstall;
+  p.rid <- rid;
+  p.mask <- 0;
+  let vn = p.best_vn + 1 in
+  p.best_vn <- vn;
+  p.best_value <- value;
+  Hashtbl.replace t.pending rid p;
+  route t ~rid ~side:`Write (fun rid ->
+      Protocol.Install_req { rid; key = p.key; vn; value })
+
+let handle t ~src msg =
+  let rid = Protocol.rid msg in
+  match Hashtbl.find_opt t.pending rid with
+  | None -> () (* stale reply for a finished or superseded phase *)
+  | Some p when not p.live -> ()
+  | Some p -> (
+      match (msg, replica_index t src) with
+      | Protocol.Query_rep { vn; value; key; _ }, Some i
+        when String.equal key p.key -> (
+          p.mask <- p.mask lor (1 lsl i);
+          p.replies <- (i, vn) :: p.replies;
+          if vn > p.best_vn then begin
+            p.best_vn <- vn;
+            p.best_value <- value
+          end;
+          match p.phase with
+          | PRead ->
+              if t.strategy.Strategy.read_ok p.mask then finish t p ~ok:true
+          | PWrite_query value ->
+              if t.strategy.Strategy.read_ok p.mask then begin
+                Hashtbl.remove t.pending rid;
+                start_install t p ~value
+              end
+          | PInstall -> ())
+      | Protocol.Install_ack { key; _ }, Some i when String.equal key p.key
+        -> (
+          match p.phase with
+          | PInstall ->
+              p.mask <- p.mask lor (1 lsl i);
+              if t.strategy.Strategy.write_ok p.mask then finish t p ~ok:true
+          | PRead | PWrite_query _ -> ())
+      | _ -> ())
+
+(** Attach the client's reply handler to the network. *)
+let attach t = Net.register t.net ~node:t.name (fun ~src msg -> handle t ~src msg)
+
+let start_op t ~key ~phase ~on_done =
+  let rid = fresh_rid t in
+  let p =
+    {
+      key;
+      phase;
+      rid;
+      mask = 0;
+      best_vn = 0;
+      best_value = 0;
+      replies = [];
+      live = true;
+      started = Core.now t.sim;
+      on_done;
+    }
+  in
+  Hashtbl.replace t.pending rid p;
+  arm_timeout t p;
+  rid
+
+(** Issue a logical read of [key]. *)
+let read t ~key ~on_done =
+  let rid = start_op t ~key ~phase:PRead ~on_done in
+  route t ~rid ~side:`Read (fun rid -> Protocol.Query_req { rid; key })
+
+(** Issue a logical write of [key := value]. *)
+let write t ~key ~value ~on_done =
+  let rid = start_op t ~key ~phase:(PWrite_query value) ~on_done in
+  route t ~rid ~side:`Read (fun rid -> Protocol.Query_req { rid; key })
+
+(** Install [(vn, value)] directly, skipping the version query — the
+    data-migration step of reconfiguration, where the version number
+    was discovered under the {e old} configuration and the data must
+    be pushed to a write quorum of the {e new} one. *)
+let install t ~key ~vn ~value ~on_done =
+  let rid = start_op t ~key ~phase:PInstall ~on_done in
+  (match Hashtbl.find_opt t.pending rid with
+  | Some p ->
+      p.best_vn <- vn;
+      p.best_value <- value
+  | None -> ());
+  broadcast t ~rid (fun rid -> Protocol.Install_req { rid; key; vn; value })

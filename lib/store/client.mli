@@ -1,0 +1,66 @@
+(** The quorum client — the practical transaction manager, following
+    Section 3.1's logic over RPC: reads assemble a read quorum of
+    replies and return the highest-versioned value; writes first learn
+    the version from a read quorum, then install [(vn + 1, value)] at
+    a write quorum.  Requests go to all replicas and complete on the
+    fastest quorum; timeout = failed operation. *)
+
+module Core = Sim.Core
+module Net = Sim.Net
+
+(** Request routing: [`Broadcast] (fastest-quorum hedging, 2n messages
+    per round) or [`Quorum] (one randomly chosen minimal quorum —
+    fewer messages, spreadable load, weaker tail latency and
+    availability). *)
+type targeting = [ `Broadcast | `Quorum ]
+
+type t = {
+  name : string;
+  sim : Core.t;
+  net : Protocol.msg Net.t;
+  replicas : string array;
+  mutable strategy : Strategy.t;  (** swappable (reconfiguration) *)
+  mutable next_rid : int;
+  pending : (int, pending) Hashtbl.t;
+  timeout : float;
+  read_repair : bool;
+      (** reads push the newest (version, value) back to stale
+          replicas they observed — anti-entropy on the read path *)
+  targeting : targeting;
+  rng : Qc_util.Prng.t;
+  mutable repairs_sent : int;
+  mutable ops_ok : int;
+  mutable ops_failed : int;
+}
+
+and pending
+
+val create :
+  name:string ->
+  sim:Core.t ->
+  net:Protocol.msg Net.t ->
+  replicas:string array ->
+  strategy:Strategy.t ->
+  ?timeout:float ->
+  ?read_repair:bool ->
+  ?targeting:targeting ->
+  ?seed:int ->
+  unit ->
+  t
+
+val attach : t -> unit
+(** Install the client's reply handler on the network. *)
+
+val read :
+  t -> key:string ->
+  on_done:(ok:bool -> vn:int -> value:int -> latency:float -> unit) -> unit
+
+val write :
+  t -> key:string -> value:int ->
+  on_done:(ok:bool -> vn:int -> value:int -> latency:float -> unit) -> unit
+
+val install :
+  t -> key:string -> vn:int -> value:int ->
+  on_done:(ok:bool -> vn:int -> value:int -> latency:float -> unit) -> unit
+(** Install directly, skipping the version query — the data-migration
+    step of reconfiguration. *)

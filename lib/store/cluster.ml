@@ -1,0 +1,242 @@
+(** Wiring: build a complete simulated cluster — replicas, clients,
+    network, failure injectors — run a workload, and collect metrics
+    plus a consistency audit.
+
+    The audit exploits the single-writer-per-key discipline of
+    {!Workload}: per key, completed writes carry strictly increasing
+    version numbers, and every successful read must return a version
+    at least as new as the newest write completed before the read
+    began, with the value that was actually written at that version.
+    Quorum intersection is exactly what makes this hold across
+    failures; a configuration without intersection (or a protocol bug)
+    fails the audit. *)
+
+module Prng = Qc_util.Prng
+module Core = Sim.Core
+module Net = Sim.Net
+
+type params = {
+  n_replicas : int;
+  n_clients : int;
+  strategy : int -> Strategy.t;  (** from n_replicas *)
+  workload : Workload.spec;
+  latency : Net.latency;
+  loss : float;
+  timeout : float;
+  failures : Sim.Failure.spec option;  (** applied to every replica *)
+  targeting : Client.targeting;
+  partitions : float option;
+      (** nemesis: every ~[mean] time units, cut the replica set along
+          a random bipartition (clients stay connected to one random
+          side), heal it half a period later — operations may fail but
+          the audit must stay clean (quorum intersection at work) *)
+  seed : int;
+}
+
+let default_params =
+  {
+    n_replicas = 5;
+    n_clients = 4;
+    strategy = Strategy.majority;
+    workload = Workload.default_spec;
+    latency = Net.lognormal_latency ~mu:1.0 ~sigma:0.5;
+    loss = 0.0;
+    timeout = 100.0;
+    failures = None;
+    targeting = `Broadcast;
+    partitions = None;
+    seed = 42;
+  }
+
+type audit_entry = {
+  vn : int;
+  value : int;
+  completed_at : float;
+}
+
+type results = {
+  reads : Sim.Stats.summary;
+  writes : Sim.Stats.summary;
+  ok_reads : int;
+  failed_reads : int;
+  ok_writes : int;
+  failed_writes : int;
+  net : Net.counters;
+  replica_loads : (string * int) list;
+      (** queries + installs processed per replica — the "load"
+          dimension quorum targeting tunes *)
+  audit_violations : string list;
+  duration : float;
+}
+
+let availability r =
+  let ok = r.ok_reads + r.ok_writes and bad = r.failed_reads + r.failed_writes in
+  if ok + bad = 0 then nan else float_of_int ok /. float_of_int (ok + bad)
+
+let run (p : params) : results =
+  let sim = Core.create ~seed:p.seed in
+  let replica_names = List.init p.n_replicas (fun i -> Fmt.str "r%d" i) in
+  let client_names = List.init p.n_clients (fun i -> Fmt.str "c%d" i) in
+  let net =
+    Net.create ~sim ~nodes:(replica_names @ client_names) ~latency:p.latency
+      ~loss:p.loss ()
+  in
+  let replicas = List.map (fun name -> Replica.create ~name) replica_names in
+  List.iter (fun r -> Replica.attach r ~net) replicas;
+  let strategy = p.strategy p.n_replicas in
+  let read_lat = Sim.Stats.create () and write_lat = Sim.Stats.create () in
+  let ok_reads = ref 0 and failed_reads = ref 0 in
+  let ok_writes = ref 0 and failed_writes = ref 0 in
+  (* audit state *)
+  let completed_writes : (string, audit_entry list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let violations = ref [] in
+  let note fmt = Fmt.kstr (fun s -> violations := s :: !violations) fmt in
+  let z = Workload.zipf ~n:p.workload.Workload.n_keys ~s:p.workload.Workload.zipf_s in
+  let clients =
+    List.mapi
+      (fun ci name ->
+        let c =
+          Client.create ~name ~sim ~net
+            ~replicas:(Array.of_list replica_names)
+            ~strategy ~timeout:p.timeout ~targeting:p.targeting
+            ~seed:(p.seed + ci) ()
+        in
+        Client.attach c;
+        (ci, c))
+      client_names
+  in
+  let wrng = Prng.create (p.seed lxor 0xabcdef) in
+  (* closed-loop driver per client *)
+  let rec issue ci (c : Client.t) remaining op_counter =
+    if remaining > 0 then
+      let think = Prng.exponential wrng ~mean:p.workload.Workload.think_time in
+      Core.schedule sim ~delay:think (fun () ->
+          match
+            Workload.next_op p.workload z wrng ~ci
+              ~n_clients:p.n_clients ~op_counter
+          with
+          | Workload.Read key ->
+              let started = Core.now sim in
+              Client.read c ~key ~on_done:(fun ~ok ~vn ~value ~latency ->
+                  if ok then begin
+                    incr ok_reads;
+                    Sim.Stats.add read_lat latency;
+                    (* audit: newest write completed before we started *)
+                    let prior =
+                      List.filter
+                        (fun e -> e.completed_at <= started)
+                        (Option.value ~default:[]
+                           (Hashtbl.find_opt completed_writes key))
+                    in
+                    let newest =
+                      List.fold_left (fun m e -> max m e.vn) 0 prior
+                    in
+                    if vn < newest then
+                      note
+                        "stale read of %s: returned vn %d < completed vn %d"
+                        key vn newest;
+                    (* the value must be what was written at that vn *)
+                    if vn > 0 then
+                      match
+                        List.find_opt
+                          (fun e -> e.vn = vn)
+                          (Option.value ~default:[]
+                             (Hashtbl.find_opt completed_writes key))
+                      with
+                      | Some e when e.value <> value ->
+                          note "corrupt read of %s: vn %d has %d, read %d" key
+                            vn e.value value
+                      | _ -> ()
+                  end
+                  else incr failed_reads;
+                  issue ci c (remaining - 1) (op_counter + 1))
+          | Workload.Write (key, v) ->
+              Client.write c ~key ~value:v ~on_done:(fun ~ok ~vn ~value:_ ~latency ->
+                  if ok then begin
+                    incr ok_writes;
+                    Sim.Stats.add write_lat latency;
+                    let prev =
+                      Option.value ~default:[]
+                        (Hashtbl.find_opt completed_writes key)
+                    in
+                    (* single-writer-per-key: versions must increase *)
+                    List.iter
+                      (fun e ->
+                        if e.vn >= vn then
+                          note "non-monotonic write to %s: vn %d after %d" key
+                            vn e.vn)
+                      prev;
+                    Hashtbl.replace completed_writes key
+                      ({ vn; value = v; completed_at = Core.now sim } :: prev)
+                  end
+                  else incr failed_writes;
+                  issue ci c (remaining - 1) (op_counter + 1)))
+  in
+  List.iter
+    (fun (ci, c) -> issue ci c p.workload.Workload.ops_per_client ci)
+    clients;
+  (* failure injection *)
+  (match p.failures with
+  | Some spec ->
+      List.iter
+        (fun node ->
+          Sim.Failure.attach ~sim ~net ~node ~spec ~until:1e9 ())
+        replica_names
+  | None -> ());
+  (* partition nemesis *)
+  (match p.partitions with
+  | Some mean ->
+      let nrng = Prng.create (p.seed lxor 0x9a97) in
+      let cut_between side_a side_b =
+        List.iter
+          (fun a -> List.iter (fun b -> Net.cut_link net a b) side_b)
+          side_a
+      in
+      let heal_between side_a side_b =
+        List.iter
+          (fun a -> List.iter (fun b -> Net.heal_link net a b) side_b)
+          side_a
+      in
+      (* bounded cycles so the event queue eventually drains (the
+         workload finishes long before) *)
+      let rec nemesis cycles =
+        if cycles > 0 then
+        Core.schedule sim ~delay:(Prng.exponential nrng ~mean) (fun () ->
+            (* random non-trivial bipartition of the replicas *)
+            let shuffled = Prng.shuffle nrng replica_names in
+            let k = 1 + Prng.int nrng (p.n_replicas - 1) in
+            let side_a = List.filteri (fun i _ -> i < k) shuffled in
+            let side_b = List.filteri (fun i _ -> i >= k) shuffled in
+            (* clients land on a random side *)
+            let client_side, other_side =
+              if Prng.bool nrng then (side_a, side_b) else (side_b, side_a)
+            in
+            ignore client_side;
+            cut_between side_a side_b;
+            List.iter (fun c -> cut_between [ c ] other_side) client_names;
+            Core.schedule sim ~delay:(mean /. 2.0) (fun () ->
+                heal_between side_a side_b;
+                List.iter (fun c -> heal_between [ c ] other_side) client_names;
+                nemesis (cycles - 1)))
+      in
+      nemesis 64
+  | None -> ());
+  Core.run sim;
+  {
+    reads = Sim.Stats.summarize read_lat;
+    writes = Sim.Stats.summarize write_lat;
+    ok_reads = !ok_reads;
+    failed_reads = !failed_reads;
+    ok_writes = !ok_writes;
+    failed_writes = !failed_writes;
+    net = Net.counters net;
+    replica_loads =
+      List.map
+        (fun (r : Replica.t) ->
+          (r.Replica.name, r.Replica.queries + r.Replica.installs))
+        replicas;
+    audit_violations = !violations;
+    duration = Core.now sim;
+  }

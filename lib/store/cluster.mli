@@ -1,0 +1,47 @@
+(** Wiring: a complete simulated cluster — replicas, clients, network,
+    failure injectors — running a workload, with metrics and a
+    consistency audit (single-writer-per-key: reads must return a
+    version at least as new as the newest write completed before the
+    read began, with the value written at that version). *)
+
+module Prng = Qc_util.Prng
+module Core = Sim.Core
+module Net = Sim.Net
+
+type params = {
+  n_replicas : int;
+  n_clients : int;
+  strategy : int -> Strategy.t;  (** from n_replicas *)
+  workload : Workload.spec;
+  latency : Net.latency;
+  loss : float;
+  timeout : float;
+  failures : Sim.Failure.spec option;  (** applied to every replica *)
+  targeting : Client.targeting;  (** broadcast vs targeted quorum sends *)
+  partitions : float option;
+      (** nemesis: cut the replica set along a random bipartition
+          roughly every [mean] time units (clients follow one side),
+          healing half a period later *)
+  seed : int;
+}
+
+val default_params : params
+
+type results = {
+  reads : Sim.Stats.summary;
+  writes : Sim.Stats.summary;
+  ok_reads : int;
+  failed_reads : int;
+  ok_writes : int;
+  failed_writes : int;
+  net : Net.counters;
+  replica_loads : (string * int) list;
+      (** queries + installs processed per replica *)
+  audit_violations : string list;
+  duration : float;
+}
+
+val availability : results -> float
+(** Fraction of operations that succeeded. *)
+
+val run : params -> results

@@ -1,0 +1,545 @@
+(** The quantitative experiments (DESIGN.md ids Q1-Q4, G1-G3): the
+    evaluation the paper's introduction motivates but, being a theory
+    paper, never runs.  Each function returns printable rows;
+    [bin/tables.exe] renders them. *)
+
+module Prng = Qc_util.Prng
+module Core = Sim.Core
+module Net = Sim.Net
+
+(** The strategy menu used across experiments. *)
+let menu n : (string * Strategy.t) list =
+  [
+    ("read-one/write-all", Strategy.rowa n);
+    ("majority", Strategy.majority n);
+    ( "weighted(2,1,1,1,1) r=2 w=5",
+      if n = 5 then
+        Strategy.weighted ~name:"weighted" ~votes:[| 2; 1; 1; 1; 1 |] ~r:2 ~w:5
+      else Strategy.majority n );
+    ("primary-copy", Strategy.primary n);
+  ]
+
+(** {1 Q1 — availability vs. per-site availability p} *)
+
+type availability_row = {
+  strategy : string;
+  p : float;
+  read_analytic : float;
+  write_analytic : float;
+  simulated : float;  (** measured op success rate under crash/recover *)
+}
+
+let availability_sweep ?(n = 5) ?(ps = [ 0.5; 0.7; 0.8; 0.9; 0.95; 0.99 ])
+    ?(seed = 11) () : availability_row list =
+  List.concat_map
+    (fun (name, strat) ->
+      List.map
+        (fun p ->
+          let read_analytic, write_analytic = Strategy.availability strat ~p in
+          (* simulate: mtbf/mttr chosen so long-run availability = p *)
+          let mttr = 50.0 in
+          let mtbf = mttr *. p /. (1.0 -. p) in
+          let r =
+            Cluster.run
+              {
+                Cluster.default_params with
+                n_replicas = n;
+                strategy = (fun _ -> strat);
+                failures = Some { Sim.Failure.mtbf; mttr };
+                timeout = 60.0;
+                workload =
+                  { Workload.default_spec with ops_per_client = 400; read_fraction = 0.5 };
+                seed;
+              }
+          in
+          {
+            strategy = name;
+            p;
+            read_analytic;
+            write_analytic;
+            simulated = Cluster.availability r;
+          })
+        ps)
+    (menu n)
+
+(** {1 Q2 — latency by strategy} *)
+
+type latency_row = {
+  strategy : string;
+  min_read_quorum : int;
+  min_write_quorum : int;
+  read : Sim.Stats.summary;
+  write : Sim.Stats.summary;
+}
+
+let latency_table ?(n = 5) ?(seed = 23) () : latency_row list =
+  List.map
+    (fun (name, strat) ->
+      let r =
+        Cluster.run
+          {
+            Cluster.default_params with
+            n_replicas = n;
+            strategy = (fun _ -> strat);
+            workload =
+              { Workload.default_spec with ops_per_client = 500; read_fraction = 0.5 };
+            seed;
+          }
+      in
+      {
+        strategy = name;
+        min_read_quorum = strat.Strategy.min_read;
+        min_write_quorum = strat.Strategy.min_write;
+        read = r.Cluster.reads;
+        write = r.Cluster.writes;
+      })
+    (menu n)
+
+(** {1 Q3 — crossover: who wins at which read fraction} *)
+
+type crossover_row = {
+  read_fraction : float;
+  rowa_mean : float;
+  majority_mean : float;
+  winner : string;
+}
+
+let mean_op_latency (r : Cluster.results) =
+  let weighted (s : Sim.Stats.summary) =
+    if s.Sim.Stats.count = 0 then 0.0
+    else s.Sim.Stats.mean *. float_of_int s.Sim.Stats.count
+  in
+  let tr = r.Cluster.reads and tw = r.Cluster.writes in
+  let n = tr.Sim.Stats.count + tw.Sim.Stats.count in
+  if n = 0 then nan else (weighted tr +. weighted tw) /. float_of_int n
+
+let crossover ?(n = 5) ?(seed = 31)
+    ?(fractions = [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99 ]) () : crossover_row list
+    =
+  List.map
+    (fun f ->
+      let run strat =
+        mean_op_latency
+          (Cluster.run
+             {
+               Cluster.default_params with
+               n_replicas = n;
+               strategy = strat;
+               workload =
+                 {
+                   Workload.default_spec with
+                   ops_per_client = 400;
+                   read_fraction = f;
+                 };
+               seed;
+             })
+      in
+      let rowa = run Strategy.rowa and majority = run Strategy.majority in
+      {
+        read_fraction = f;
+        rowa_mean = rowa;
+        majority_mean = majority;
+        winner = (if rowa < majority then "read-one/write-all" else "majority");
+      })
+    fractions
+
+(** {1 G1-G3 — weighted-voting configurations in the style of
+    Gifford's examples} *)
+
+type gifford_row = {
+  label : string;
+  votes : int list;
+  r : int;
+  w : int;
+  min_read_quorum : int;
+  min_write_quorum : int;
+  read_avail_90 : float;
+  write_avail_90 : float;
+  read_latency : float;
+  write_latency : float;
+}
+
+let gifford_examples ?(seed = 47) () : gifford_row list =
+  let cases =
+    [
+      (* read-optimized: reads anywhere, writes everywhere *)
+      ("G1 read-optimized", [ 2; 1; 1; 1 ], 1, 5);
+      (* balanced majority voting *)
+      ("G2 balanced", [ 1; 1; 1; 1; 1 ], 3, 3);
+      (* primary-weighted: a strong site in every quorum *)
+      ("G3 primary-weighted", [ 3; 1; 1 ], 3, 3);
+    ]
+  in
+  List.map
+    (fun (label, votes, r, w) ->
+      let strat =
+        Strategy.weighted ~name:label ~votes:(Array.of_list votes) ~r ~w
+      in
+      let read_avail_90, write_avail_90 = Strategy.availability strat ~p:0.9 in
+      let res =
+        Cluster.run
+          {
+            Cluster.default_params with
+            n_replicas = List.length votes;
+            strategy = (fun _ -> strat);
+            workload =
+              { Workload.default_spec with ops_per_client = 400; read_fraction = 0.5 };
+            seed;
+          }
+      in
+      {
+        label;
+        votes;
+        r;
+        w;
+        min_read_quorum = strat.Strategy.min_read;
+        min_write_quorum = strat.Strategy.min_write;
+        read_avail_90;
+        write_avail_90;
+        read_latency = res.Cluster.reads.Sim.Stats.mean;
+        write_latency = res.Cluster.writes.Sim.Stats.mean;
+      })
+    cases
+
+(** {1 Q4 — reconfiguration restores availability after failures}
+
+    Timeline: phase A (healthy, read-one/write-all over 5 replicas);
+    phase B (replicas r3 and r4 crash permanently: reads still
+    succeed, but writes need all five replicas and now fail); phase C
+    (reconfigure to majority over the three survivors, migrating every
+    key — safe because read-one/write-all wrote to {e every} replica,
+    so the survivors hold the latest data); phase D (reconfigured:
+    both reads and writes succeed again).  Success rates per phase are
+    the deliverable — the Section 4 motivation, quantified. *)
+
+type reconfig_row = { phase : string; ok : int; failed : int; rate : float }
+
+let reconfig_experiment ?(seed = 53) () : reconfig_row list =
+  let sim = Core.create ~seed in
+  let replica_names = List.init 5 (fun i -> Fmt.str "r%d" i) in
+  let net =
+    Net.create ~sim
+      ~nodes:(replica_names @ [ "c0" ])
+      ~latency:(Net.lognormal_latency ~mu:1.0 ~sigma:0.5)
+      ()
+  in
+  let replicas = List.map (fun name -> Replica.create ~name) replica_names in
+  List.iter (fun r -> Replica.attach r ~net) replicas;
+  (* old configuration: read-one/write-all — writes reach every
+     replica, so any survivor set holds the latest data *)
+  let old_strategy = Strategy.rowa 5 in
+  (* new configuration: majority over the three survivors r0-r2 *)
+  let new_strategy =
+    Strategy.weighted ~name:"survivors-majority" ~votes:[| 1; 1; 1; 0; 0 |]
+      ~r:2 ~w:2
+  in
+  let client =
+    Client.create ~name:"c0" ~sim ~net
+      ~replicas:(Array.of_list replica_names)
+      ~strategy:old_strategy ~timeout:50.0 ()
+  in
+  Client.attach client;
+  let phases = Hashtbl.create 4 in
+  let phase = ref "A-healthy" in
+  let record ok =
+    let o, f =
+      Option.value ~default:(0, 0) (Hashtbl.find_opt phases !phase)
+    in
+    Hashtbl.replace phases !phase (if ok then (o + 1, f) else (o, f + 1))
+  in
+  let rng = Prng.create (seed lxor 0xff) in
+  let keys = List.init 8 (fun i -> Fmt.str "k%d" i) in
+  (* steady stream of operations throughout *)
+  let rec traffic n =
+    if n > 0 then
+      Core.schedule sim ~delay:(Prng.exponential rng ~mean:4.0) (fun () ->
+          let key = Prng.choose rng keys in
+          if Prng.float rng < 0.5 then
+            Client.read client ~key ~on_done:(fun ~ok ~vn:_ ~value:_ ~latency:_ ->
+                record ok)
+          else
+            Client.write client ~key ~value:(Prng.int rng 10_000)
+              ~on_done:(fun ~ok ~vn:_ ~value:_ ~latency:_ -> record ok);
+          traffic (n - 1))
+  in
+  traffic 600;
+  (* t=600: crash r3 and r4 for good *)
+  Core.schedule sim ~delay:600.0 (fun () ->
+      phase := "B-failed";
+      Net.crash net "r3";
+      Net.crash net "r4");
+  (* t=1200: reconfigure — migrate every key under the new quorum
+     rule (Gifford's data-copy phase: push the current value and
+     version to a write quorum of the new configuration), then let the
+     client run with the new configuration *)
+  Core.schedule sim ~delay:1200.0 (fun () ->
+      phase := "C-migrating";
+      client.Client.strategy <- new_strategy;
+      let rec migrate = function
+        | [] -> phase := "D-reconfigured"
+        | key :: rest ->
+            Client.read client ~key ~on_done:(fun ~ok ~vn ~value ~latency:_ ->
+                if ok then
+                  Client.install client ~key ~vn:(vn + 1) ~value
+                    ~on_done:(fun ~ok:_ ~vn:_ ~value:_ ~latency:_ ->
+                      migrate rest)
+                else migrate rest)
+      in
+      migrate keys);
+  Core.run sim;
+  let order = [ "A-healthy"; "B-failed"; "C-migrating"; "D-reconfigured" ] in
+  List.filter_map
+    (fun phase ->
+      match Hashtbl.find_opt phases phase with
+      | Some (ok, failed) ->
+          Some
+            {
+              phase;
+              ok;
+              failed;
+              rate = float_of_int ok /. float_of_int (max 1 (ok + failed));
+            }
+      | None -> None)
+    order
+
+(** {1 Read repair: anti-entropy on the read path}
+
+    Replicas that were down during writes come back stale and — under
+    quorum reads — stay stale forever unless something fixes them
+    (correctness does not require it: quorum intersection masks the
+    staleness, at the cost of larger effective quorums and lost
+    failure margin).  With read repair, reads push the newest version
+    to the stale replicas they observed.  The experiment measures
+    replica staleness after a failure-heavy write phase followed by a
+    read-only phase, with repair off and on. *)
+
+type repair_row = {
+  mode : string;
+  staleness_mid : float;
+      (** mean fraction of stale replicas per key when failures stop *)
+  staleness_end : float;  (** idem after the read-only phase *)
+  repairs_sent : int;
+}
+
+let read_repair_experiment ?(seed = 61) () : repair_row list =
+  let run_one ~read_repair =
+    let sim = Core.create ~seed in
+    let replica_names = List.init 5 (fun i -> Fmt.str "r%d" i) in
+    let net =
+      Net.create ~sim
+        ~nodes:(replica_names @ [ "c0" ])
+        ~latency:(Net.lognormal_latency ~mu:1.0 ~sigma:0.5)
+        ()
+    in
+    let replicas = List.map (fun name -> Replica.create ~name) replica_names in
+    List.iter (fun r -> Replica.attach r ~net) replicas;
+    let client =
+      Client.create ~name:"c0" ~sim ~net
+        ~replicas:(Array.of_list replica_names)
+        ~strategy:(Strategy.majority 5) ~timeout:50.0 ~read_repair ()
+    in
+    Client.attach client;
+    let keys = List.init 8 (fun i -> Fmt.str "k%d" i) in
+    let rng = Prng.create (seed lxor 0x5e) in
+    (* failure-heavy write phase until t=800 *)
+    List.iter
+      (fun node ->
+        Sim.Failure.attach ~sim ~net ~node
+          ~spec:{ Sim.Failure.mtbf = 200.0; mttr = 100.0 }
+          ~until:800.0 ())
+      replica_names;
+    (* write phase strictly bounded to t < 700 so that no late write
+       (broadcast to all replicas) masks the staleness left behind *)
+    let rec writes n =
+      if n > 0 && Core.now sim < 700.0 then
+        Core.schedule sim ~delay:(Prng.exponential rng ~mean:5.0) (fun () ->
+            if Core.now sim < 700.0 then
+              Client.write client ~key:(Prng.choose rng keys)
+                ~value:(Prng.int rng 100_000)
+                ~on_done:(fun ~ok:_ ~vn:_ ~value:_ ~latency:_ -> writes (n - 1)))
+    in
+    writes 120;
+    (* read-only phase from t=900 to t=1700 *)
+    let rec reads n =
+      if n > 0 then
+        Core.schedule sim ~delay:(Prng.exponential rng ~mean:4.0) (fun () ->
+            Client.read client ~key:(Prng.choose rng keys)
+              ~on_done:(fun ~ok:_ ~vn:_ ~value:_ ~latency:_ -> reads (n - 1)))
+    in
+    Core.schedule sim ~delay:900.0 (fun () ->
+        List.iter (fun r -> Net.recover net r) replica_names;
+        reads 200);
+    let staleness () =
+      let per_key =
+        List.map
+          (fun key ->
+            let vns =
+              List.map (fun r -> fst (Replica.lookup r key)) replicas
+            in
+            let hi = List.fold_left max 0 vns in
+            if hi = 0 then 0.0
+            else
+              float_of_int (List.length (List.filter (fun v -> v < hi) vns))
+              /. float_of_int (List.length vns))
+          keys
+      in
+      List.fold_left ( +. ) 0.0 per_key /. float_of_int (List.length per_key)
+    in
+    let mid = ref 0.0 in
+    Core.schedule sim ~delay:890.0 (fun () -> mid := staleness ());
+    Core.run sim;
+    {
+      mode = (if read_repair then "read repair on" else "read repair off");
+      staleness_mid = !mid;
+      staleness_end = staleness ();
+      repairs_sent = client.Client.repairs_sent;
+    }
+  in
+  [ run_one ~read_repair:false; run_one ~read_repair:true ]
+
+(** {1 Optimal vote assignments}
+
+    Gifford's paper chooses vote assignments by intuition and example;
+    with exact analytic availability the choice can be {e optimized}:
+    for a per-site availability [p] and a read fraction [f], score
+    every (votes, r, w) configuration by
+    [f * read_availability + (1 - f) * write_availability] and pick
+    the best.  Searching all vote multisets (votes 0-3 per site, at
+    least one positive) with minimal legal thresholds
+    ([r + w = total + 1]; larger thresholds only lose availability)
+    shows the availability optimum always weakly dominates both
+    classical extremes, and that skewed workloads are won by
+    {e asymmetric} thresholds (small quorums on the hot side, large on
+    the cold side) rather than by read-one/write-all, whose write side
+    collapses — rowa's real advantage is latency, not availability. *)
+
+type optimum_row = {
+  p : float;
+  read_fraction : float;
+  votes : int list;
+  r : int;
+  w : int;
+  score : float;
+  rowa_score : float;
+  majority_score : float;
+}
+
+let optimal_configurations ?(n = 5)
+    ?(ps = [ 0.8; 0.9; 0.99 ]) ?(fractions = [ 0.1; 0.5; 0.9 ]) () :
+    optimum_row list =
+  (* non-increasing vote vectors, entries 0..3, at least one positive *)
+  let rec vote_vectors k maxv =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun v -> List.map (fun rest -> v :: rest) (vote_vectors (k - 1) v))
+        (List.init (maxv + 1) (fun i -> maxv - i))
+  in
+  let candidates =
+    List.filter_map
+      (fun votes ->
+        let total = List.fold_left ( + ) 0 votes in
+        if total = 0 then None else Some (votes, total))
+      (vote_vectors n 3)
+  in
+  let score strat ~p ~f =
+    let ar, aw = Strategy.availability strat ~p in
+    (f *. ar) +. ((1.0 -. f) *. aw)
+  in
+  List.concat_map
+    (fun p ->
+      List.map
+        (fun f ->
+          let best = ref None in
+          List.iter
+            (fun (votes, total) ->
+              for r = 1 to total do
+                let w = total + 1 - r in
+                if w >= 1 && w <= total then begin
+                  let strat =
+                    Strategy.weighted ~name:"cand" ~votes:(Array.of_list votes)
+                      ~r ~w
+                  in
+                  let s = score strat ~p ~f in
+                  match !best with
+                  | Some (s', _, _, _) when s' >= s -> ()
+                  | _ -> best := Some (s, votes, r, w)
+                end
+              done)
+            candidates;
+          let s, votes, r, w = Option.get !best in
+          {
+            p;
+            read_fraction = f;
+            votes;
+            r;
+            w;
+            score = s;
+            rowa_score = score (Strategy.rowa n) ~p ~f;
+            majority_score = score (Strategy.majority n) ~p ~f;
+          })
+        fractions)
+    ps
+
+(** {1 Broadcast vs targeted quorums: messages, load, latency}
+
+    Quorum-system theory's third axis (after availability and quorum
+    size) is {e load} — how evenly work spreads over replicas (cf.
+    grid quorums, designed exactly for this).  Under broadcast routing
+    every replica sees every operation, so load is flat and the axis
+    is invisible; targeted routing (message one random minimal quorum)
+    reveals it, trading tail latency and messages for load. *)
+
+type load_row = {
+  strategy_name : string;
+  mode : string;
+  messages : int;
+  read_mean : float;
+  availability : float;
+  load_imbalance : float;
+      (** max replica load / mean replica load (1.0 = perfectly flat) *)
+}
+
+let load_table ?(seed = 83) () : load_row list =
+  let n = 6 in
+  let strategies =
+    [
+      ("majority-6", fun _ -> Strategy.majority n);
+      ("grid-2x3", fun _ -> Strategy.grid ~rows:2 ~cols:3);
+      ( "primary-weighted",
+        fun _ ->
+          Strategy.weighted ~name:"pw" ~votes:[| 3; 1; 1; 1; 1; 1 |] ~r:4 ~w:5
+      );
+    ]
+  in
+  List.concat_map
+    (fun (name, strat) ->
+      List.map
+        (fun (mode, targeting) ->
+          let r =
+            Cluster.run
+              {
+                Cluster.default_params with
+                n_replicas = n;
+                strategy = strat;
+                targeting;
+                workload =
+                  { Workload.default_spec with ops_per_client = 400; read_fraction = 0.8 };
+                seed;
+              }
+          in
+          let loads = List.map snd r.Cluster.replica_loads in
+          let total = List.fold_left ( + ) 0 loads in
+          let mean = float_of_int total /. float_of_int n in
+          let hi = List.fold_left max 0 loads in
+          {
+            strategy_name = name;
+            mode;
+            messages = r.Cluster.net.Sim.Net.sent;
+            read_mean = r.Cluster.reads.Sim.Stats.mean;
+            availability = Cluster.availability r;
+            load_imbalance =
+              (if mean > 0.0 then float_of_int hi /. mean else nan);
+          })
+        [ ("broadcast", `Broadcast); ("targeted", `Quorum) ])
+    strategies

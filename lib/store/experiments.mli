@@ -1,0 +1,106 @@
+(** The quantitative experiments (DESIGN.md Q1-Q4, G1-G3): the
+    evaluation the paper's introduction motivates. *)
+
+type availability_row = {
+  strategy : string;
+  p : float;
+  read_analytic : float;
+  write_analytic : float;
+  simulated : float;
+}
+
+val availability_sweep :
+  ?n:int -> ?ps:float list -> ?seed:int -> unit -> availability_row list
+(** Q1: analytic and simulated availability per strategy and per-site
+    availability. *)
+
+type latency_row = {
+  strategy : string;
+  min_read_quorum : int;
+  min_write_quorum : int;
+  read : Sim.Stats.summary;
+  write : Sim.Stats.summary;
+}
+
+val latency_table : ?n:int -> ?seed:int -> unit -> latency_row list
+(** Q2: operation latency by strategy. *)
+
+type crossover_row = {
+  read_fraction : float;
+  rowa_mean : float;
+  majority_mean : float;
+  winner : string;
+}
+
+val mean_op_latency : Cluster.results -> float
+
+val crossover :
+  ?n:int -> ?seed:int -> ?fractions:float list -> unit -> crossover_row list
+(** Q3: who wins at which read fraction. *)
+
+type gifford_row = {
+  label : string;
+  votes : int list;
+  r : int;
+  w : int;
+  min_read_quorum : int;
+  min_write_quorum : int;
+  read_avail_90 : float;
+  write_avail_90 : float;
+  read_latency : float;
+  write_latency : float;
+}
+
+val gifford_examples : ?seed:int -> unit -> gifford_row list
+(** G1-G3: weighted-voting configurations in the style of Gifford's
+    examples. *)
+
+type reconfig_row = { phase : string; ok : int; failed : int; rate : float }
+
+val reconfig_experiment : ?seed:int -> unit -> reconfig_row list
+(** Q4: reconfiguration restores availability after permanent replica
+    failures (RoWa -> majority-of-survivors with data migration). *)
+
+type repair_row = {
+  mode : string;
+  staleness_mid : float;
+      (** mean fraction of stale replicas per key when failures stop *)
+  staleness_end : float;  (** idem after the read-only phase *)
+  repairs_sent : int;
+}
+
+val read_repair_experiment : ?seed:int -> unit -> repair_row list
+(** Anti-entropy on the read path: replica staleness after a
+    failure-heavy write phase and a read-only phase, repair off vs
+    on. *)
+
+type optimum_row = {
+  p : float;
+  read_fraction : float;
+  votes : int list;
+  r : int;
+  w : int;
+  score : float;
+  rowa_score : float;
+  majority_score : float;
+}
+
+val optimal_configurations :
+  ?n:int -> ?ps:float list -> ?fractions:float list -> unit -> optimum_row list
+(** Search all vote assignments (votes 0-3, minimal legal thresholds)
+    for the availability-optimal configuration per (per-site
+    availability, read fraction) point. *)
+
+type load_row = {
+  strategy_name : string;
+  mode : string;
+  messages : int;
+  read_mean : float;
+  availability : float;
+  load_imbalance : float;
+      (** max replica load / mean replica load (1.0 = perfectly flat) *)
+}
+
+val load_table : ?seed:int -> unit -> load_row list
+(** Broadcast vs targeted-quorum routing: message counts, read
+    latency, availability, and per-replica load imbalance. *)

@@ -1,0 +1,15 @@
+(** Wire protocol of the replicated store: the two round-trip kinds of
+    the paper's algorithm — version/value queries (the read phase of
+    both logical reads and writes) and versioned installs (the write
+    phase). *)
+
+type msg =
+  | Query_req of { rid : int; key : string }
+  | Query_rep of { rid : int; key : string; vn : int; value : int }
+  | Install_req of { rid : int; key : string; vn : int; value : int }
+  | Install_ack of { rid : int; key : string }
+
+let rid = function
+  | Query_req { rid; _ } | Query_rep { rid; _ } | Install_req { rid; _ }
+  | Install_ack { rid; _ } ->
+      rid

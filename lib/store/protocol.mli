@@ -1,0 +1,11 @@
+(** Wire protocol of the replicated store: version/value queries (the
+    read phase of both logical reads and writes) and versioned
+    installs (the write phase). *)
+
+type msg =
+  | Query_req of { rid : int; key : string }
+  | Query_rep of { rid : int; key : string; vn : int; value : int }
+  | Install_req of { rid : int; key : string; vn : int; value : int }
+  | Install_ack of { rid : int; key : string }
+
+val rid : msg -> int

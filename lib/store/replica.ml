@@ -1,0 +1,35 @@
+(** A replica server: the data manager of the practical store.  It
+    keeps, per key, a (version-number, value) pair — exactly the DM
+    state of Section 3.1 — and answers queries and installs.  An
+    install only overwrites when the incoming version number is at
+    least the stored one, making retransmissions and stale
+    retries harmless. *)
+
+type t = {
+  name : string;
+  data : (string, int * int) Hashtbl.t;  (** key -> (vn, value) *)
+  mutable queries : int;
+  mutable installs : int;
+}
+
+let create ~name = { name; data = Hashtbl.create 64; queries = 0; installs = 0 }
+
+let lookup t key =
+  Option.value ~default:(0, 0) (Hashtbl.find_opt t.data key)
+
+(** Attach the replica to the network. *)
+let attach t ~(net : Protocol.msg Sim.Net.t) =
+  Sim.Net.register net ~node:t.name (fun ~src msg ->
+      match msg with
+      | Protocol.Query_req { rid; key } ->
+          t.queries <- t.queries + 1;
+          let vn, value = lookup t key in
+          Sim.Net.send net ~src:t.name ~dst:src
+            (Protocol.Query_rep { rid; key; vn; value })
+      | Protocol.Install_req { rid; key; vn; value } ->
+          t.installs <- t.installs + 1;
+          let cur_vn, _ = lookup t key in
+          if vn >= cur_vn then Hashtbl.replace t.data key (vn, value);
+          Sim.Net.send net ~src:t.name ~dst:src
+            (Protocol.Install_ack { rid; key })
+      | Protocol.Query_rep _ | Protocol.Install_ack _ -> ())

@@ -1,0 +1,15 @@
+(** A replica server: per key a (version-number, value) pair — the DM
+    state of Section 3.1 — answering queries and installs.  Installs
+    only overwrite with a version at least the stored one, so
+    retransmissions and stale retries are harmless. *)
+
+type t = {
+  name : string;
+  data : (string, int * int) Hashtbl.t;
+  mutable queries : int;
+  mutable installs : int;
+}
+
+val create : name:string -> t
+val lookup : t -> string -> int * int
+val attach : t -> net:Protocol.msg Sim.Net.t -> unit

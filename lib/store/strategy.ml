@@ -1,0 +1,157 @@
+(** Quorum strategies over [n] replicas, represented as predicates on
+    bitmasks of replica indices.  This is the practical-systems
+    counterpart of {!Quorum.Config}: the paper's generalized
+    configurations instantiated for a replica set, with exact analytic
+    availability by enumeration.
+
+    All the classical schemes the paper's algorithm generalizes are
+    here: read-one/write-all, majority, Gifford's weighted voting, and
+    grid quorums; [primary] is the non-replicated baseline. *)
+
+module Prng = Qc_util.Prng
+
+type t = {
+  name : string;
+  n : int;
+  read_ok : int -> bool;  (** does this replica set contain a read quorum? *)
+  write_ok : int -> bool;
+  min_read : int;  (** size of the smallest read quorum *)
+  min_write : int;
+}
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let full n = (1 lsl n) - 1
+
+(* smallest popcount among masks satisfying ok *)
+let min_quorum n ok =
+  let best = ref (n + 1) in
+  for m = 1 to full n do
+    if ok m then best := min !best (popcount m)
+  done;
+  if !best > n then n else !best
+
+let make ~name ~n ~read_ok ~write_ok =
+  {
+    name;
+    n;
+    read_ok;
+    write_ok;
+    min_read = min_quorum n read_ok;
+    min_write = min_quorum n write_ok;
+  }
+
+(** Sanity: every read quorum intersects every write quorum —
+    equivalently, no disjoint pair (r, w) with read_ok r and
+    write_ok w.  Exact check by enumeration (n <= ~12). *)
+let legal t =
+  let f = full t.n in
+  let ok = ref true in
+  for r = 1 to f do
+    if t.read_ok r then
+      let complement = f land lnot r in
+      (* any write quorum inside the complement would be disjoint *)
+      if t.write_ok complement then ok := false
+  done;
+  !ok
+
+let rowa n =
+  make ~name:"read-one/write-all" ~n
+    ~read_ok:(fun m -> m <> 0)
+    ~write_ok:(fun m -> m = full n)
+
+let majority n =
+  let need = (n / 2) + 1 in
+  make ~name:"majority" ~n
+    ~read_ok:(fun m -> popcount m >= need)
+    ~write_ok:(fun m -> popcount m >= need)
+
+(** Gifford's weighted voting: votes per replica, read and write
+    vote thresholds with [r + w > total]. *)
+let weighted ~name ~votes ~r ~w =
+  let n = Array.length votes in
+  let total = Array.fold_left ( + ) 0 votes in
+  if r + w <= total then invalid_arg "Strategy.weighted: r + w must exceed v";
+  let sum m =
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      if m land (1 lsl i) <> 0 then acc := !acc + votes.(i)
+    done;
+    !acc
+  in
+  make ~name ~n ~read_ok:(fun m -> sum m >= r) ~write_ok:(fun m -> sum m >= w)
+
+(** Grid quorums: read = one full row; write = one full row plus one
+    replica from every row. *)
+let grid ~rows ~cols =
+  let n = rows * cols in
+  let row i =
+    let m = ref 0 in
+    for j = 0 to cols - 1 do
+      m := !m lor (1 lsl ((i * cols) + j))
+    done;
+    !m
+  in
+  let some_full_row m =
+    let rec go i = i < rows && ((m land row i) = row i || go (i + 1)) in
+    go 0
+  in
+  let covers_all_rows m =
+    let rec go i = i >= rows || (m land row i <> 0 && go (i + 1)) in
+    go 0
+  in
+  make
+    ~name:(Fmt.str "grid-%dx%d" rows cols)
+    ~n ~read_ok:some_full_row
+    ~write_ok:(fun m -> some_full_row m && covers_all_rows m)
+
+(** Non-replicated baseline: everything on replica 0. *)
+let primary n =
+  make ~name:"primary-copy" ~n
+    ~read_ok:(fun m -> m land 1 <> 0)
+    ~write_ok:(fun m -> m land 1 <> 0)
+
+(** {1 Analytic availability}
+
+    With each replica independently alive with probability [p], the
+    probability that some live quorum exists is the sum over all
+    live-sets.  Exact enumeration, exponential in [n] (fine for the
+    paper-scale n <= 12). *)
+let availability t ~p =
+  let read = ref 0.0 and write = ref 0.0 in
+  for m = 0 to full t.n do
+    let k = popcount m in
+    let prob =
+      (p ** float_of_int k) *. ((1.0 -. p) ** float_of_int (t.n - k))
+    in
+    if t.read_ok m then read := !read +. prob;
+    if t.write_ok m then write := !write +. prob
+  done;
+  (!read, !write)
+
+(** All minimal read (resp. write) quorums as bitmasks — used by the
+    targeted-send client mode, which messages one quorum instead of
+    broadcasting.  Exponential enumeration (n <= ~12). *)
+let minimal_quorums ok n =
+  let all = ref [] in
+  for m = 1 to full n do
+    if ok m then all := m :: !all
+  done;
+  let masks = !all in
+  List.filter
+    (fun q ->
+      not (List.exists (fun q' -> q' <> q && q' land lnot q = 0) masks))
+    masks
+
+let minimal_read_quorums t = minimal_quorums t.read_ok t.n
+let minimal_write_quorums t = minimal_quorums t.write_ok t.n
+
+(** The live-replica bitmask for a predicate of liveness. *)
+let mask_of_live ~n is_live =
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if is_live i then m := !m lor (1 lsl i)
+  done;
+  !m

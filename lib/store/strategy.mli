@@ -1,0 +1,44 @@
+(** Quorum strategies over [n] replicas as bitmask predicates — the
+    practical-systems counterpart of {!Quorum.Config}, with exact
+    analytic availability by enumeration. *)
+
+type t = {
+  name : string;
+  n : int;
+  read_ok : int -> bool;  (** mask of replicas contains a read quorum? *)
+  write_ok : int -> bool;
+  min_read : int;  (** size of the smallest read quorum *)
+  min_write : int;
+}
+
+val popcount : int -> int
+val full : int -> int
+val make : name:string -> n:int -> read_ok:(int -> bool) -> write_ok:(int -> bool) -> t
+
+val legal : t -> bool
+(** No disjoint (read-quorum, write-quorum) pair — exact check by
+    enumeration (n <= ~12). *)
+
+val rowa : int -> t
+val majority : int -> t
+
+val weighted : name:string -> votes:int array -> r:int -> w:int -> t
+(** Gifford's weighted voting.
+    @raise Invalid_argument unless [r + w] exceeds the total votes. *)
+
+val grid : rows:int -> cols:int -> t
+(** Read = one full row; write = one full row + one per row. *)
+
+val primary : int -> t
+(** Non-replicated baseline (everything on replica 0). *)
+
+val availability : t -> p:float -> float * float
+(** [(read, write)] probability a live quorum exists when each replica
+    is independently alive with probability [p] — exact enumeration. *)
+
+val minimal_read_quorums : t -> int list
+(** All minimal read quorums, as bitmasks (for targeted sends). *)
+
+val minimal_write_quorums : t -> int list
+
+val mask_of_live : n:int -> (int -> bool) -> int

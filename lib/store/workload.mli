@@ -1,0 +1,29 @@
+(** Workload generation: Zipf keys, read/write mix, closed-loop
+    clients.  Single designated writer per key (see the module
+    implementation notes). *)
+
+type zipf
+
+val zipf : n:int -> s:float -> zipf
+(** Zipf(s) over [n] ranks ([s = 0] is uniform). *)
+
+val sample : zipf -> Qc_util.Prng.t -> int
+
+type spec = {
+  n_keys : int;
+  zipf_s : float;
+  read_fraction : float;
+  think_time : float;
+  ops_per_client : int;
+}
+
+val default_spec : spec
+
+type op = Read of string | Write of string * int
+
+val key_name : int -> string
+
+val next_op :
+  spec -> zipf -> Qc_util.Prng.t -> ci:int -> n_clients:int -> op_counter:int -> op
+(** The next operation for client [ci]: reads anywhere, writes only to
+    keys the client owns (key index mod n_clients = ci). *)

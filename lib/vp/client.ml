@@ -1,0 +1,172 @@
+(** The virtual-partition client.
+
+    Within a primary view, the protocol is read-one/write-all
+    {e relative to the view}: a read asks a single (random) view
+    member; a write discovers the version from one member and installs
+    to every member.  Operations carry the view id; a NACK (replica in
+    a different view) or a timeout fails the operation — the caller
+    then waits for a view change.
+
+    The read-one fast path is the scheme's selling point over static
+    majority quorums; the price is the view-change machinery and the
+    loss of minority-side availability. *)
+
+module Core = Sim.Core
+module Net = Sim.Net
+module Prng = Qc_util.Prng
+
+type phase = PRead | PWrite_query of int | PInstall
+
+type pending = {
+  key : string;
+  mutable rid : int;
+  mutable phase : phase;
+  mutable awaiting : string list;  (** members still to acknowledge *)
+  mutable vn : int;
+  mutable value : int;
+  mutable live : bool;
+  started : float;
+  on_done : ok:bool -> vn:int -> value:int -> latency:float -> unit;
+}
+
+type t = {
+  name : string;
+  sim : Core.t;
+  net : Protocol.msg Net.t;
+  rng : Prng.t;
+  mutable view : View.t;
+  mutable next_rid : int;
+  pending : (int, pending) Hashtbl.t;
+  timeout : float;
+  mutable nacked : int;  (** ops failed by stale-view NACKs *)
+}
+
+let create ~name ~sim ~net ~view ?(timeout = 50.0) ~seed () =
+  {
+    name;
+    sim;
+    net;
+    rng = Prng.create seed;
+    view;
+    next_rid = 0;
+    pending = Hashtbl.create 8;
+    timeout;
+    nacked = 0;
+  }
+
+(** Adopt a new view (after the manager completes a change). *)
+let set_view t view = t.view <- view
+
+let fresh_rid t =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  rid
+
+let finish t (p : pending) ~ok =
+  if p.live then begin
+    p.live <- false;
+    Hashtbl.remove t.pending p.rid;
+    p.on_done ~ok ~vn:p.vn ~value:p.value
+      ~latency:(Core.now t.sim -. p.started)
+  end
+
+let arm_timeout t (p : pending) =
+  Core.schedule t.sim ~delay:t.timeout (fun () ->
+      if p.live then finish t p ~ok:false)
+
+let start_install t (p : pending) ~value =
+  let rid = fresh_rid t in
+  p.phase <- PInstall;
+  p.rid <- rid;
+  p.vn <- p.vn + 1;
+  p.value <- value;
+  p.awaiting <- t.view.View.members;
+  Hashtbl.replace t.pending rid p;
+  List.iter
+    (fun r ->
+      Net.send t.net ~src:t.name ~dst:r
+        (Protocol.Write_req
+           { rid; view = t.view.View.id; key = p.key; vn = p.vn; value }))
+    t.view.View.members
+
+let handle t ~src msg =
+  let rid = Protocol.rid msg in
+  match Hashtbl.find_opt t.pending rid with
+  | None -> ()
+  | Some p when not p.live -> ()
+  | Some p -> (
+      match msg with
+      | Protocol.Nack _ ->
+          t.nacked <- t.nacked + 1;
+          finish t p ~ok:false
+      | Protocol.Read_rep { key; vn; value; _ } when String.equal key p.key
+        -> (
+          match p.phase with
+          | PRead ->
+              p.vn <- vn;
+              p.value <- value;
+              finish t p ~ok:true
+          | PWrite_query value' ->
+              (* version discovery polls EVERY view member: a write
+                 that failed mid-install may have left a higher
+                 version on some member, and installing below it
+                 would be silently ignored there (non-monotonic
+                 histories, stale read-my-writes).  Taking the max
+                 over the whole view restores monotonicity. *)
+              p.vn <- max p.vn vn;
+              p.awaiting <- List.filter (fun r -> r <> src) p.awaiting;
+              if p.awaiting = [] then begin
+                Hashtbl.remove t.pending rid;
+                start_install t p ~value:value'
+              end
+          | PInstall -> ())
+      | Protocol.Write_ack { key; _ } when String.equal key p.key -> (
+          match p.phase with
+          | PInstall ->
+              p.awaiting <- List.filter (fun r -> r <> src) p.awaiting;
+              if p.awaiting = [] then finish t p ~ok:true
+          | PRead | PWrite_query _ -> ())
+      | _ -> ())
+
+let attach t = Net.register t.net ~node:t.name (fun ~src msg -> handle t ~src msg)
+
+let start_op t ~key ~phase ~on_done =
+  let rid = fresh_rid t in
+  let p =
+    {
+      key;
+      rid;
+      phase;
+      awaiting = [];
+      vn = 0;
+      value = 0;
+      live = true;
+      started = Core.now t.sim;
+      on_done;
+    }
+  in
+  Hashtbl.replace t.pending rid p;
+  arm_timeout t p;
+  rid
+
+(* one random member of the current view *)
+let pick_member t = Prng.choose t.rng t.view.View.members
+
+(** Read: one round trip to a single view member. *)
+let read t ~key ~on_done =
+  let rid = start_op t ~key ~phase:PRead ~on_done in
+  Net.send t.net ~src:t.name ~dst:(pick_member t)
+    (Protocol.Read_req { rid; view = t.view.View.id; key })
+
+(** Write: version from every view member (see the note in [handle]
+    about partially-failed installs), then install at every member. *)
+let write t ~key ~value ~on_done =
+  let rid = start_op t ~key ~phase:(PWrite_query value) ~on_done in
+  (match Hashtbl.find_opt t.pending rid with
+  | Some p -> p.awaiting <- t.view.View.members
+  | None -> ());
+  List.iter
+    (fun r ->
+      Net.send t.net ~src:t.name ~dst:r
+        (Protocol.Read_req { rid; view = t.view.View.id; key }))
+    t.view.View.members

@@ -1,0 +1,29 @@
+(** The virtual-partition client: within a primary view, reads go to
+    one member (the fast path), writes discover the version from every
+    member and install at every member; NACK or timeout fails the
+    operation. *)
+
+type t
+
+val create :
+  name:string ->
+  sim:Sim.Core.t ->
+  net:Protocol.msg Sim.Net.t ->
+  view:View.t ->
+  ?timeout:float ->
+  seed:int ->
+  unit ->
+  t
+
+val set_view : t -> View.t -> unit
+(** Adopt a new view (after the manager completes a change). *)
+
+val attach : t -> unit
+
+val read :
+  t -> key:string ->
+  on_done:(ok:bool -> vn:int -> value:int -> latency:float -> unit) -> unit
+
+val write :
+  t -> key:string -> value:int ->
+  on_done:(ok:bool -> vn:int -> value:int -> latency:float -> unit) -> unit

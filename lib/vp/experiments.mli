@@ -1,0 +1,14 @@
+(** E14: virtual partitions vs. static majority quorums — partition
+    timeline, read-one fast path, minority refusal, staleness audit. *)
+
+type phase_row = { phase : string; ok : int; failed : int; read_mean : float }
+
+type comparison = {
+  vp_read_mean : float;
+  majority_read_mean : float;
+  phases : phase_row list;
+  stale_reads : int;
+  minority_view_refused : bool;
+}
+
+val compare : ?seed:int -> unit -> comparison

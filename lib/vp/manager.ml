@@ -1,0 +1,109 @@
+(** The view manager: executes view changes.
+
+    A view change to membership [members]:
+    1. requires [members] to be a majority of all replicas (otherwise
+       it is refused — a minority partition can never form a primary
+       view, which is exactly what keeps the two sides of a partition
+       from diverging);
+    2. collects the full state of every proposed member and merges it
+       keeping the highest version per key — since the previous
+       primary view wrote to all its members and any two majorities
+       intersect, the merge contains every committed write;
+    3. installs the new view (fresh id) and merged state at every
+       member, completing when all have acknowledged.
+
+    Failure detection is deliberately out of scope (it is orthogonal;
+    in the experiments the test harness triggers view changes when it
+    reconfigures the network). *)
+
+module Core = Sim.Core
+module Net = Sim.Net
+
+type t = {
+  name : string;
+  sim : Core.t;
+  net : Protocol.msg Net.t;
+  all_replicas : string list;
+  mutable next_view_id : int;
+  mutable next_rid : int;
+  mutable current : View.t;
+  timeout : float;
+}
+
+let create ~name ~sim ~net ~all_replicas ?(timeout = 50.0) () =
+  {
+    name;
+    sim;
+    net;
+    all_replicas;
+    next_view_id = 1;
+    next_rid = 0;
+    current = View.initial ~replicas:all_replicas;
+    timeout;
+  }
+
+(* Merge collected replica states keeping the highest version per key. *)
+let merge_states (states : (string * (int * int)) list list) :
+    (string * (int * int)) list =
+  List.fold_left
+    (fun acc st ->
+      List.fold_left
+        (fun acc (key, (vn, value)) ->
+          match List.assoc_opt key acc with
+          | Some (vn', _) when vn' >= vn -> acc
+          | _ -> (key, (vn, value)) :: List.remove_assoc key acc)
+        acc st)
+    [] states
+
+(** [change_view t ~members ~on_done] runs the protocol.  [on_done]
+    receives the installed view on success; failure means [members]
+    was not a majority or some member did not respond in time. *)
+let change_view t ~members ~on_done =
+  let n_total = List.length t.all_replicas in
+  if 2 * List.length members <= n_total then
+    on_done ~ok:false t.current
+  else begin
+    let view_id = t.next_view_id in
+    t.next_view_id <- view_id + 1;
+    let rid = t.next_rid in
+    t.next_rid <- rid + 1;
+    let awaiting = ref members in
+    let states = ref [] in
+    let phase = ref `Collect in
+    let live = ref true in
+    Core.schedule t.sim ~delay:t.timeout (fun () ->
+        if !live then begin
+          live := false;
+          on_done ~ok:false t.current
+        end);
+    Net.register t.net ~node:t.name (fun ~src msg ->
+        if !live && Protocol.rid msg = rid then
+          match (msg, !phase) with
+          | Protocol.State_rep { state; _ }, `Collect ->
+              if List.mem src !awaiting then begin
+                awaiting := List.filter (fun r -> r <> src) !awaiting;
+                states := state :: !states
+              end;
+              if !awaiting = [] then begin
+                phase := `Install;
+                awaiting := members;
+                let merged = merge_states !states in
+                List.iter
+                  (fun r ->
+                    Net.send t.net ~src:t.name ~dst:r
+                      (Protocol.Install { rid; view_id; members; state = merged }))
+                  members
+              end
+          | Protocol.Install_ack _, `Install ->
+              if List.mem src !awaiting then
+                awaiting := List.filter (fun r -> r <> src) !awaiting;
+              if !awaiting = [] then begin
+                live := false;
+                t.current <- { View.id = view_id; members };
+                on_done ~ok:true t.current
+              end
+          | _ -> ());
+    List.iter
+      (fun r -> Net.send t.net ~src:t.name ~dst:r (Protocol.State_req { rid }))
+      members
+  end

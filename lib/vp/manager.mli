@@ -1,0 +1,25 @@
+(** The view manager: a view change to a membership (refused unless it
+    is a majority) collects every member's state, merges keeping the
+    highest version per key, and installs the new view and state at
+    every member.  Failure detection is out of scope (the experiment
+    harness triggers changes when it reconfigures the network). *)
+
+type t
+
+val create :
+  name:string ->
+  sim:Sim.Core.t ->
+  net:Protocol.msg Sim.Net.t ->
+  all_replicas:string list ->
+  ?timeout:float ->
+  unit ->
+  t
+
+val merge_states :
+  (string * (int * int)) list list -> (string * (int * int)) list
+
+val change_view :
+  t -> members:string list -> on_done:(ok:bool -> View.t -> unit) -> unit
+(** Run the protocol; [on_done] receives the installed view on
+    success.  Failure: non-majority membership, or a member did not
+    respond in time. *)

@@ -1,0 +1,196 @@
+(* Tests for the General Quorum Consensus ADT extension (E13):
+   timestamps, sequential specs, log merging, the replicated client,
+   and the headline comparisons. *)
+
+module Prng = Qc_util.Prng
+module Core = Sim.Core
+module Net = Sim.Net
+
+(* ---------- timestamps ---------- *)
+
+let test_timestamp_order () =
+  let a = { Adt.Timestamp.time = 1; client = "a"; seq = 1 } in
+  let b = { Adt.Timestamp.time = 2; client = "a"; seq = 2 } in
+  let c = { Adt.Timestamp.time = 1; client = "b"; seq = 1 } in
+  Alcotest.(check bool) "time dominates" true (Adt.Timestamp.compare a b < 0);
+  Alcotest.(check bool) "client breaks ties" true (Adt.Timestamp.compare a c < 0);
+  Alcotest.(check bool) "reflexive equal" true (Adt.Timestamp.equal a a)
+
+let test_clock_monotone () =
+  let c = Adt.Timestamp.clock ~id:"x" in
+  let t1 = Adt.Timestamp.fresh c in
+  Adt.Timestamp.observe c { Adt.Timestamp.time = 50; client = "y"; seq = 3 };
+  let t2 = Adt.Timestamp.fresh c in
+  Alcotest.(check bool) "fresh after observe dominates" true
+    (Adt.Timestamp.compare t1 t2 < 0 && t2.Adt.Timestamp.time > 50)
+
+(* ---------- sequential spec ---------- *)
+
+let test_spec_counter () =
+  let st = Adt.Spec.replay [ Adt.Spec.Inc 3; Adt.Spec.Inc 4 ] in
+  Alcotest.(check bool) "total 7" true (snd (Adt.Spec.apply st Adt.Spec.Total) = Adt.Spec.Value 7)
+
+let test_spec_register () =
+  let st = Adt.Spec.replay [ Adt.Spec.Set 1; Adt.Spec.Set 9 ] in
+  Alcotest.(check bool) "last writer wins" true
+    (snd (Adt.Spec.apply st Adt.Spec.Get) = Adt.Spec.Value 9);
+  Alcotest.(check bool) "unset register empty" true
+    (snd (Adt.Spec.apply Adt.Spec.initial Adt.Spec.Get) = Adt.Spec.Empty)
+
+let test_spec_queue () =
+  let st = Adt.Spec.replay [ Adt.Spec.Enq 1; Adt.Spec.Enq 2; Adt.Spec.Deq ] in
+  Alcotest.(check bool) "fifo order" true
+    (snd (Adt.Spec.apply st Adt.Spec.Deq) = Adt.Spec.Value 2);
+  Alcotest.(check bool) "empty deq" true
+    (snd (Adt.Spec.apply Adt.Spec.initial Adt.Spec.Deq) = Adt.Spec.Empty)
+
+let test_spec_roles () =
+  Alcotest.(check bool) "inc mutates, does not observe" true
+    (Adt.Spec.mutates (Adt.Spec.Inc 1) && not (Adt.Spec.observes (Adt.Spec.Inc 1)));
+  Alcotest.(check bool) "total observes, does not mutate" true
+    (Adt.Spec.observes Adt.Spec.Total && not (Adt.Spec.mutates Adt.Spec.Total));
+  Alcotest.(check bool) "deq observes and mutates" true
+    (Adt.Spec.observes Adt.Spec.Deq && Adt.Spec.mutates Adt.Spec.Deq)
+
+(* ---------- log merge ---------- *)
+
+let entry time client seq op =
+  { Adt.Replica.ts = { Adt.Timestamp.time; client; seq }; op }
+
+let test_merge_union_sorted () =
+  let a = [ entry 1 "a" 1 (Adt.Spec.Inc 1); entry 3 "a" 2 (Adt.Spec.Inc 1) ] in
+  let b = [ entry 2 "b" 1 (Adt.Spec.Inc 1); entry 3 "a" 2 (Adt.Spec.Inc 1) ] in
+  let m = Adt.Replica.merge a b in
+  Alcotest.(check int) "union without duplicates" 3 (List.length m);
+  let times = List.map (fun (e : Adt.Replica.entry) -> e.Adt.Replica.ts.Adt.Timestamp.time) m in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] times
+
+let test_merge_idempotent () =
+  let a = [ entry 1 "a" 1 (Adt.Spec.Inc 1); entry 2 "a" 2 (Adt.Spec.Inc 1) ] in
+  Alcotest.(check int) "self-merge is identity" 2
+    (List.length (Adt.Replica.merge a a))
+
+(* ---------- end-to-end replicated ADT ---------- *)
+
+let with_cluster ~seed f =
+  let sim = Core.create ~seed in
+  let replica_names = List.init 5 (fun i -> Fmt.str "r%d" i) in
+  let net =
+    Net.create ~sim
+      ~nodes:(replica_names @ [ "c0" ])
+      ~latency:(Net.lognormal_latency ~mu:0.5 ~sigma:0.3)
+      ()
+  in
+  let replicas = List.map (fun name -> Adt.Replica.create ~name) replica_names in
+  List.iter (fun r -> Adt.Replica.attach r ~net) replicas;
+  let client =
+    Adt.Client.create ~name:"c0" ~sim ~net
+      ~replicas:(Array.of_list replica_names)
+      ~strategy:(Store.Strategy.majority 5)
+      ()
+  in
+  Adt.Client.attach client;
+  f sim client
+
+let test_counter_end_to_end () =
+  with_cluster ~seed:4 (fun sim client ->
+      let results = ref [] in
+      let rec seq ops =
+        match ops with
+        | [] -> ()
+        | op :: rest ->
+            Adt.Client.execute client ~key:"k" ~op
+              ~on_done:(fun ~ok ~result ~latency:_ ->
+                Alcotest.(check bool) "op succeeds" true ok;
+                results := result :: !results;
+                seq rest)
+      in
+      seq [ Adt.Spec.Inc 5; Adt.Spec.Inc 7; Adt.Spec.Total ];
+      Core.run sim;
+      match !results with
+      | [ Adt.Spec.Value 12; Adt.Spec.Unit; Adt.Spec.Unit ] -> ()
+      | _ -> Alcotest.fail "expected total 12")
+
+let test_queue_end_to_end () =
+  with_cluster ~seed:5 (fun sim client ->
+      let deqs = ref [] in
+      let rec seq ops =
+        match ops with
+        | [] -> ()
+        | op :: rest ->
+            Adt.Client.execute client ~key:"q" ~op
+              ~on_done:(fun ~ok ~result ~latency:_ ->
+                Alcotest.(check bool) "op succeeds" true ok;
+                (match (op, result) with
+                | Adt.Spec.Deq, r -> deqs := r :: !deqs
+                | _ -> ());
+                seq rest)
+      in
+      seq [ Adt.Spec.Enq 10; Adt.Spec.Enq 20; Adt.Spec.Deq; Adt.Spec.Deq; Adt.Spec.Deq ];
+      Core.run sim;
+      match List.rev !deqs with
+      | [ Adt.Spec.Value 10; Adt.Spec.Value 20; Adt.Spec.Empty ] -> ()
+      | _ -> Alcotest.fail "expected fifo dequeues then empty")
+
+let test_register_end_to_end () =
+  with_cluster ~seed:6 (fun sim client ->
+      let got = ref Adt.Spec.Empty in
+      Adt.Client.execute client ~key:"r" ~op:(Adt.Spec.Set 3)
+        ~on_done:(fun ~ok:_ ~result:_ ~latency:_ ->
+          Adt.Client.execute client ~key:"r" ~op:(Adt.Spec.Set 8)
+            ~on_done:(fun ~ok:_ ~result:_ ~latency:_ ->
+              Adt.Client.execute client ~key:"r" ~op:Adt.Spec.Get
+                ~on_done:(fun ~ok:_ ~result ~latency:_ -> got := result)));
+      Core.run sim;
+      Alcotest.(check bool) "last set wins" true (!got = Adt.Spec.Value 8))
+
+(* the headline results, as assertions *)
+
+let test_blind_inc_faster () =
+  match Adt.Experiments.counter_comparison () with
+  | [ adt; rw ] ->
+      Alcotest.(check bool) "adt counter exact" true
+        (adt.Adt.Experiments.final_total = adt.expected_total);
+      Alcotest.(check bool) "blind mutation at least 1.5x faster" true
+        (rw.Adt.Experiments.mutation_mean
+        > 1.5 *. adt.Adt.Experiments.mutation_mean)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_no_lost_updates () =
+  match Adt.Experiments.race_comparison () with
+  | [ adt; rw ] ->
+      Alcotest.(check int) "event log loses nothing" 0 adt.Adt.Experiments.lost;
+      Alcotest.(check bool) "read-modify-write loses updates" true
+        (rw.Adt.Experiments.lost > 0)
+  | _ -> Alcotest.fail "expected two rows"
+
+let suites =
+  [
+    ( "adt.timestamp",
+      [
+        Alcotest.test_case "total order" `Quick test_timestamp_order;
+        Alcotest.test_case "clock monotone past observations" `Quick
+          test_clock_monotone;
+      ] );
+    ( "adt.spec",
+      [
+        Alcotest.test_case "counter" `Quick test_spec_counter;
+        Alcotest.test_case "register" `Quick test_spec_register;
+        Alcotest.test_case "queue" `Quick test_spec_queue;
+        Alcotest.test_case "operation roles" `Quick test_spec_roles;
+      ] );
+    ( "adt.log",
+      [
+        Alcotest.test_case "merge is sorted union" `Quick test_merge_union_sorted;
+        Alcotest.test_case "merge idempotent" `Quick test_merge_idempotent;
+      ] );
+    ( "adt.replicated",
+      [
+        Alcotest.test_case "counter end to end" `Quick test_counter_end_to_end;
+        Alcotest.test_case "queue end to end" `Quick test_queue_end_to_end;
+        Alcotest.test_case "register end to end" `Quick test_register_end_to_end;
+        Alcotest.test_case "blind increments faster (E13)" `Slow
+          test_blind_inc_faster;
+        Alcotest.test_case "no lost updates (E13)" `Slow test_no_lost_updates;
+      ] );
+  ]

@@ -1,0 +1,437 @@
+(* Tests for the concurrency control substrate (Theorem 11): Moss
+   nested 2PL, Reed MVTO, the concurrent engine, and the one-copy
+   serializability oracle. *)
+
+open Ioa
+module Prng = Qc_util.Prng
+
+let u name = Txn.Seg name
+let t1 : Txn.t = [ u "t1" ]
+let t2 : Txn.t = [ u "t2" ]
+let t1a : Txn.t = [ u "t1"; u "a" ]
+let t1b : Txn.t = [ u "t1"; u "b" ]
+
+(* ---------- Moss 2PL locks ---------- *)
+
+let test_locks_read_read () =
+  let l = Cc.Locks.create () in
+  (match Cc.Locks.try_read l ~obj:"o" ~initial:(Value.Int 0) ~who:t1 with
+  | Ok v -> Alcotest.(check bool) "initial value" true (Value.equal v (Value.Int 0))
+  | Error _ -> Alcotest.fail "read should succeed");
+  Alcotest.(check bool) "concurrent read allowed" true
+    (Result.is_ok (Cc.Locks.try_read l ~obj:"o" ~initial:(Value.Int 0) ~who:t2))
+
+let test_locks_write_blocks_read () =
+  let l = Cc.Locks.create () in
+  (match Cc.Locks.try_write l ~obj:"o" ~initial:(Value.Int 0) ~who:t1 (Value.Int 5) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "write should succeed");
+  Alcotest.(check bool) "other txn read blocked" true
+    (Result.is_error (Cc.Locks.try_read l ~obj:"o" ~initial:(Value.Int 0) ~who:t2))
+
+let test_locks_read_blocks_write () =
+  let l = Cc.Locks.create () in
+  ignore (Cc.Locks.try_read l ~obj:"o" ~initial:(Value.Int 0) ~who:t1);
+  Alcotest.(check bool) "other txn write blocked" true
+    (Result.is_error
+       (Cc.Locks.try_write l ~obj:"o" ~initial:(Value.Int 0) ~who:t2 (Value.Int 1)))
+
+let test_locks_descendant_sees_ancestor_write () =
+  let l = Cc.Locks.create () in
+  ignore (Cc.Locks.try_write l ~obj:"o" ~initial:(Value.Int 0) ~who:t1 (Value.Int 7));
+  (* a child of the writer may read and sees the uncommitted value *)
+  match Cc.Locks.try_read l ~obj:"o" ~initial:(Value.Int 0) ~who:t1a with
+  | Ok v -> Alcotest.(check bool) "sees parent's write" true (Value.equal v (Value.Int 7))
+  | Error _ -> Alcotest.fail "descendant read should succeed"
+
+let test_locks_sibling_conflict_until_commit () =
+  let l = Cc.Locks.create () in
+  ignore (Cc.Locks.try_write l ~obj:"o" ~initial:(Value.Int 0) ~who:t1a (Value.Int 7));
+  (* sibling t1b cannot write while t1a holds the lock *)
+  Alcotest.(check bool) "sibling blocked" true
+    (Result.is_error
+       (Cc.Locks.try_write l ~obj:"o" ~initial:(Value.Int 0) ~who:t1b (Value.Int 8)));
+  (* after t1a commits, its lock belongs to t1 (ancestor of t1b) *)
+  Cc.Locks.commit l t1a;
+  Alcotest.(check bool) "sibling allowed after inheritance" true
+    (Result.is_ok
+       (Cc.Locks.try_write l ~obj:"o" ~initial:(Value.Int 0) ~who:t1b (Value.Int 8)))
+
+let test_locks_abort_restores () =
+  let l = Cc.Locks.create () in
+  ignore (Cc.Locks.try_write l ~obj:"o" ~initial:(Value.Int 0) ~who:t1 (Value.Int 7));
+  Cc.Locks.abort l t1;
+  match Cc.Locks.try_read l ~obj:"o" ~initial:(Value.Int 0) ~who:t2 with
+  | Ok v -> Alcotest.(check bool) "restored" true (Value.equal v (Value.Int 0))
+  | Error _ -> Alcotest.fail "read should succeed after abort"
+
+let test_locks_top_commit_installs_base () =
+  let l = Cc.Locks.create () in
+  ignore (Cc.Locks.try_write l ~obj:"o" ~initial:(Value.Int 0) ~who:t1 (Value.Int 7));
+  Cc.Locks.commit l t1;
+  Alcotest.(check int) "no residual holders" 0
+    (List.length (Cc.Locks.residual_holders l));
+  match Cc.Locks.try_read l ~obj:"o" ~initial:(Value.Int 0) ~who:t2 with
+  | Ok v -> Alcotest.(check bool) "committed value" true (Value.equal v (Value.Int 7))
+  | Error _ -> Alcotest.fail "read after commit should succeed"
+
+let test_locks_abort_subtree () =
+  let l = Cc.Locks.create () in
+  ignore (Cc.Locks.try_write l ~obj:"o" ~initial:(Value.Int 0) ~who:t1a (Value.Int 7));
+  (* aborting the parent clears the descendant's locks too *)
+  Cc.Locks.abort l t1;
+  Alcotest.(check int) "no residual" 0 (List.length (Cc.Locks.residual_holders l))
+
+(* ---------- Reed MVTO ---------- *)
+
+let test_mvto_read_own_write () =
+  let m = Cc.Mvto.create () in
+  (match Cc.Mvto.try_write m ~obj:"o" ~initial:(Value.Int 0) ~who:t1 (Value.Int 5) with
+  | Cc.Mvto.WOk -> ()
+  | _ -> Alcotest.fail "write should succeed");
+  match Cc.Mvto.try_read m ~obj:"o" ~initial:(Value.Int 0) ~who:t1a with
+  | Cc.Mvto.ROk v ->
+      Alcotest.(check bool) "own write visible" true (Value.equal v (Value.Int 5))
+  | _ -> Alcotest.fail "own read should succeed"
+
+let test_mvto_reader_blocks_on_uncommitted () =
+  let m = Cc.Mvto.create () in
+  ignore (Cc.Mvto.try_write m ~obj:"o" ~initial:(Value.Int 0) ~who:t1 (Value.Int 5));
+  (* t2 (later timestamp) must block on t1's uncommitted version *)
+  match Cc.Mvto.try_read m ~obj:"o" ~initial:(Value.Int 0) ~who:t2 with
+  | Cc.Mvto.RBlock blockers ->
+      Alcotest.(check bool) "blocked on t1" true
+        (List.exists (Txn.equal t1) blockers)
+  | _ -> Alcotest.fail "expected block"
+
+let test_mvto_read_after_commit () =
+  let m = Cc.Mvto.create () in
+  ignore (Cc.Mvto.try_write m ~obj:"o" ~initial:(Value.Int 0) ~who:t1 (Value.Int 5));
+  Cc.Mvto.commit m t1;
+  match Cc.Mvto.try_read m ~obj:"o" ~initial:(Value.Int 0) ~who:t2 with
+  | Cc.Mvto.ROk v ->
+      Alcotest.(check bool) "committed visible" true (Value.equal v (Value.Int 5))
+  | _ -> Alcotest.fail "read should succeed"
+
+let test_mvto_late_write_aborts () =
+  let m = Cc.Mvto.create () in
+  (* t1 gets ts 1 by reading; t2 gets ts 2 and reads version 0; then
+     t1's write would change what t2 already read -> abort *)
+  ignore (Cc.Mvto.try_read m ~obj:"o" ~initial:(Value.Int 0) ~who:t1);
+  ignore (Cc.Mvto.try_read m ~obj:"o" ~initial:(Value.Int 0) ~who:t2);
+  match Cc.Mvto.try_write m ~obj:"o" ~initial:(Value.Int 0) ~who:t1 (Value.Int 9) with
+  | Cc.Mvto.WAbort -> ()
+  | _ -> Alcotest.fail "late write must abort"
+
+let test_mvto_abort_discards_versions () =
+  let m = Cc.Mvto.create () in
+  ignore (Cc.Mvto.try_write m ~obj:"o" ~initial:(Value.Int 0) ~who:t1 (Value.Int 5));
+  Cc.Mvto.abort m t1;
+  Alcotest.(check int) "no residual" 0 (Cc.Mvto.residual m);
+  match Cc.Mvto.try_read m ~obj:"o" ~initial:(Value.Int 0) ~who:t2 with
+  | Cc.Mvto.ROk v -> Alcotest.(check bool) "initial" true (Value.equal v (Value.Int 0))
+  | _ -> Alcotest.fail "read should succeed"
+
+let test_mvto_serial_order_is_ts_order () =
+  let m = Cc.Mvto.create () in
+  (* touch in order t2 then t1: ts(t2)=1 < ts(t1)=2 *)
+  ignore (Cc.Mvto.try_read m ~obj:"o" ~initial:(Value.Int 0) ~who:t2);
+  ignore (Cc.Mvto.try_read m ~obj:"p" ~initial:(Value.Int 0) ~who:t1);
+  let order = Cc.Mvto.serial_order m [ t1; t2 ] in
+  Alcotest.(check bool) "t2 serializes first" true
+    (Txn.equal (List.hd order) t2)
+
+(* ---------- engine + oracle ---------- *)
+
+let prop_2pl_serializable =
+  QCheck.Test.make ~count:40 ~name:"2PL runs are one-copy serializable"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      match Cc.Harness.run_and_check ~mode:`TwoPL ~seed () with
+      | Ok _ -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_mvto_serializable =
+  QCheck.Test.make ~count:40 ~name:"MVTO runs are one-copy serializable"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      match Cc.Harness.run_and_check ~mode:`Mvto ~seed () with
+      | Ok _ -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let test_nocc_violations_found () =
+  (* without concurrency control, racing transactions must produce
+     detectable violations in a clear majority of runs *)
+  let fails = ref 0 in
+  for seed = 1 to 20 do
+    match Cc.Harness.run_and_check ~mode:`NoCC ~abort_rate:0.0 ~seed () with
+    | Ok _ -> ()
+    | Error _ -> incr fails
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "violations in %d/20 uncontrolled runs" !fails)
+    true (!fails > 10)
+
+let test_engine_concurrency_happens () =
+  let r =
+    match Cc.Harness.run_and_check ~mode:`TwoPL ~abort_rate:0.0 ~seed:5 () with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "peak concurrency > 1" true (r.Cc.Harness.peak_concurrency > 1)
+
+let test_engine_deterministic () =
+  let run () =
+    match Cc.Harness.run_and_check ~mode:`TwoPL ~seed:77 () with
+    | Ok r -> (r.Cc.Harness.steps, r.committed_tops, r.aborted_nodes, r.events)
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "same seed, same run" true (run () = run ())
+
+let test_engine_no_residual_locks () =
+  for seed = 1 to 10 do
+    let rng = Prng.create seed in
+    let d =
+      Cc.Harness.concurrent_root rng (Quorum.Gen.description rng) ~extra_tops:3
+    in
+    let log = Cc.Harness.run ~seed d in
+    Alcotest.(check int)
+      (Fmt.str "seed %d residual" seed)
+      0 log.Cc.Engine.residual_locks
+  done
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "cc.locks",
+      [
+        Alcotest.test_case "read/read compatible" `Quick test_locks_read_read;
+        Alcotest.test_case "write blocks read" `Quick test_locks_write_blocks_read;
+        Alcotest.test_case "read blocks write" `Quick test_locks_read_blocks_write;
+        Alcotest.test_case "descendant sees ancestor write" `Quick
+          test_locks_descendant_sees_ancestor_write;
+        Alcotest.test_case "sibling conflict until inheritance" `Quick
+          test_locks_sibling_conflict_until_commit;
+        Alcotest.test_case "abort restores" `Quick test_locks_abort_restores;
+        Alcotest.test_case "top commit installs base" `Quick
+          test_locks_top_commit_installs_base;
+        Alcotest.test_case "abort clears subtree" `Quick test_locks_abort_subtree;
+      ] );
+    ( "cc.mvto",
+      [
+        Alcotest.test_case "read own write" `Quick test_mvto_read_own_write;
+        Alcotest.test_case "reader blocks on uncommitted" `Quick
+          test_mvto_reader_blocks_on_uncommitted;
+        Alcotest.test_case "read after commit" `Quick test_mvto_read_after_commit;
+        Alcotest.test_case "late write aborts" `Quick test_mvto_late_write_aborts;
+        Alcotest.test_case "abort discards versions" `Quick
+          test_mvto_abort_discards_versions;
+        Alcotest.test_case "serial order is timestamp order" `Quick
+          test_mvto_serial_order_is_ts_order;
+      ] );
+    ( "cc.theorem11",
+      [
+        qcheck prop_2pl_serializable;
+        qcheck prop_mvto_serializable;
+        Alcotest.test_case "no CC yields violations" `Slow
+          test_nocc_violations_found;
+        Alcotest.test_case "concurrency actually happens" `Quick
+          test_engine_concurrency_happens;
+        Alcotest.test_case "engine is deterministic" `Quick test_engine_deterministic;
+        Alcotest.test_case "no residual locks" `Quick test_engine_no_residual_locks;
+      ] );
+  ]
+
+(* ---------- deadlock handling ---------- *)
+
+(* Two top-level transactions locking two single-replica items in
+   opposite orders: the classic deadlock.  With injection off, any
+   abort is a deadlock resolution; every run must still satisfy the
+   oracle. *)
+let test_deadlock_resolution () =
+  let mk_item name =
+    Quorum.Item.make ~name ~dms:[ name ^ "_d" ]
+      ~config:(Quorum.Config.rowa [ name ^ "_d" ])
+      ~initial:(Value.Int 0)
+  in
+  let wr obj v seq =
+    Serial.User_txn.Access_child
+      (Txn.Access { obj; kind = Txn.Write; data = Value.Int v; seq })
+  in
+  let txn name first second =
+    Serial.User_txn.Sub
+      ( name,
+        {
+          Serial.User_txn.children = [ wr first 1 0; wr second 2 1 ];
+          ordered = true;
+          eager = false;
+          returns = Serial.User_txn.return_nil;
+        } )
+  in
+  let d =
+    {
+      Quorum.Description.items = [ mk_item "x"; mk_item "y" ];
+      raw_objects = [];
+      root_script =
+        {
+          Serial.User_txn.children = [ txn "t1" "x" "y"; txn "t2" "y" "x" ];
+          ordered = false;
+          eager = false;
+          returns = Serial.User_txn.return_nil;
+        };
+    }
+  in
+  let deadlocks = ref 0 and finished = ref 0 in
+  for seed = 1 to 40 do
+    let log = Cc.Harness.run ~abort_rate:0.0 ~seed d in
+    (match Cc.Oracle.check d log with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "seed %d: %s %s" seed m.Cc.Oracle.what m.detail);
+    Alcotest.(check int)
+      (Fmt.str "seed %d: no residual locks" seed)
+      0 log.Cc.Engine.residual_locks;
+    let aborted =
+      List.exists (fun (_, o) -> o = Cc.Engine.Aborted) log.Cc.Engine.outcomes
+    in
+    if aborted then incr deadlocks;
+    if List.length log.Cc.Engine.commit_order = 2 then incr finished
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "deadlocks occurred and were resolved (%d/40)" !deadlocks)
+    true (!deadlocks > 0);
+  Alcotest.(check bool)
+    (Fmt.str "many runs commit both transactions (%d/40)" !finished)
+    true (!finished > 10)
+
+(* MVTO on the same workload: timestamp ordering resolves the conflict
+   by aborting the late writer instead of lock-based victims *)
+let test_deadlock_free_mvto () =
+  let mk_item name =
+    Quorum.Item.make ~name ~dms:[ name ^ "_d" ]
+      ~config:(Quorum.Config.rowa [ name ^ "_d" ])
+      ~initial:(Value.Int 0)
+  in
+  let wr obj v seq =
+    Serial.User_txn.Access_child
+      (Txn.Access { obj; kind = Txn.Write; data = Value.Int v; seq })
+  in
+  let txn name first second =
+    Serial.User_txn.Sub
+      ( name,
+        {
+          Serial.User_txn.children = [ wr first 1 0; wr second 2 1 ];
+          ordered = true;
+          eager = false;
+          returns = Serial.User_txn.return_nil;
+        } )
+  in
+  let d =
+    {
+      Quorum.Description.items = [ mk_item "x"; mk_item "y" ];
+      raw_objects = [];
+      root_script =
+        {
+          Serial.User_txn.children = [ txn "t1" "x" "y"; txn "t2" "y" "x" ];
+          ordered = false;
+          eager = false;
+          returns = Serial.User_txn.return_nil;
+        };
+    }
+  in
+  for seed = 1 to 40 do
+    let log = Cc.Harness.run ~abort_rate:0.0 ~mode:`Mvto ~seed d in
+    match Cc.Oracle.check d log with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "seed %d: %s %s" seed m.Cc.Oracle.what m.detail
+  done
+
+let deadlock_suite =
+  ( "cc.deadlock",
+    [
+      Alcotest.test_case "2PL deadlocks resolved by victim abort" `Quick
+        test_deadlock_resolution;
+      Alcotest.test_case "MVTO handles the same conflict" `Quick
+        test_deadlock_free_mvto;
+    ] )
+
+let suites = suites @ [ deadlock_suite ]
+
+(* ---------- why "non-orphan" is necessary ---------- *)
+
+(* Theorem 11 qualifies its guarantee to non-orphan transactions.  The
+   qualifier is necessary: an orphan may have read state (e.g. its own
+   enclosing transaction's uncommitted writes) that the final serial
+   witness never exhibits.  We demonstrate it: replay the witness
+   (non-orphan events only, as the oracle does) and check orphan reads
+   against it — across enough seeds, some orphan read is inconsistent,
+   while (per the oracle, already validated) non-orphan reads never
+   are. *)
+let test_orphan_reads_can_be_inconsistent () =
+  let inconsistent_orphan_reads = ref 0 and orphan_reads = ref 0 in
+  for seed = 1 to 60 do
+    let rng = Prng.create (7000 + seed) in
+    let d =
+      Cc.Harness.concurrent_root rng (Quorum.Gen.description rng) ~extra_tops:3
+    in
+    let log = Cc.Harness.run ~abort_rate:0.05 ~seed d in
+    (match Cc.Oracle.check d log with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "seed %d: %s %s" seed m.Cc.Oracle.what m.detail);
+    (* the witness store, built like the oracle builds it *)
+    let store = Hashtbl.create 8 in
+    List.iter
+      (fun (i : Quorum.Item.t) ->
+        Hashtbl.replace store i.Quorum.Item.name i.Quorum.Item.initial)
+      d.Quorum.Description.items;
+    let non_orphan t =
+      let rec go anc =
+        Txn.is_root anc
+        ||
+        match List.assoc_opt anc log.Cc.Engine.outcomes with
+        | Some (Cc.Engine.Committed _) -> go (Txn.parent anc)
+        | _ -> false
+      in
+      go t
+    in
+    List.iter
+      (fun top ->
+        List.iter
+          (fun ev ->
+            match ev with
+            | Cc.Engine.EWrite { top = t'; tm; item; value }
+              when Txn.equal t' top && non_orphan tm ->
+                Hashtbl.replace store item value
+            | _ -> ())
+          log.Cc.Engine.events)
+      log.Cc.Engine.serial_order;
+    (* final witness in hand: compare ORPHAN reads against the value
+       the witness store reaches — a crude but telling comparison *)
+    List.iter
+      (fun ev ->
+        match ev with
+        | Cc.Engine.ERead { tm; item; value; _ } when not (non_orphan tm) ->
+            incr orphan_reads;
+            let witness = Hashtbl.find store item in
+            if not (Value.equal value witness) then
+              incr inconsistent_orphan_reads
+        | _ -> ())
+      log.Cc.Engine.events
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "orphan reads occurred (%d)" !orphan_reads)
+    true (!orphan_reads > 0);
+  Alcotest.(check bool)
+    (Fmt.str "some orphan reads inconsistent with the witness (%d/%d)"
+       !inconsistent_orphan_reads !orphan_reads)
+    true
+    (!inconsistent_orphan_reads > 0)
+
+let orphan_suite =
+  ( "cc.orphans",
+    [
+      Alcotest.test_case "non-orphan qualifier is necessary" `Slow
+        test_orphan_reads_can_be_inconsistent;
+    ] )
+
+let suites = suites @ [ orphan_suite ]

@@ -1,0 +1,434 @@
+(* Tests for the I/O automaton framework: transaction names, actions,
+   values, well-formedness, schedules, composition. *)
+
+open Ioa
+
+let u name = Txn.Seg name
+let t1 : Txn.t = [ u "a" ]
+let t11 : Txn.t = [ u "a"; u "b" ]
+let t12 : Txn.t = [ u "a"; u "c" ]
+let t111 : Txn.t = [ u "a"; u "b"; u "d" ]
+let t2 : Txn.t = [ u "z" ]
+
+let acc_seg =
+  Txn.Access { obj = "o1"; kind = Txn.Read; data = Value.Nil; seq = 0 }
+
+let txn_t = Alcotest.testable Txn.pp Txn.equal
+
+(* ---------- Txn ---------- *)
+
+let test_parent () =
+  Alcotest.check txn_t "parent of child" t1 (Txn.parent t11);
+  Alcotest.check txn_t "parent of grandchild" t11 (Txn.parent t111);
+  Alcotest.check txn_t "parent of top-level is root" Txn.root (Txn.parent t1)
+
+let test_parent_of_root () =
+  Alcotest.check_raises "root has no parent"
+    (Invalid_argument "Txn.parent: the root transaction has no parent")
+    (fun () -> ignore (Txn.parent Txn.root))
+
+let test_ancestor () =
+  Alcotest.(check bool) "reflexive" true (Txn.is_ancestor t11 t11);
+  Alcotest.(check bool) "parent is ancestor" true (Txn.is_ancestor t1 t111);
+  Alcotest.(check bool) "root is ancestor of all" true
+    (Txn.is_ancestor Txn.root t111);
+  Alcotest.(check bool) "sibling is not ancestor" false
+    (Txn.is_ancestor t11 t12);
+  Alcotest.(check bool) "child is not ancestor of parent" false
+    (Txn.is_ancestor t11 t1);
+  Alcotest.(check bool) "proper excludes self" false
+    (Txn.is_proper_ancestor t11 t11);
+  Alcotest.(check bool) "proper includes parent" true
+    (Txn.is_proper_ancestor t1 t11)
+
+let test_lca () =
+  Alcotest.check txn_t "lca of siblings" t1 (Txn.lca t11 t12);
+  Alcotest.check txn_t "lca with ancestor" t1 (Txn.lca t1 t111);
+  Alcotest.check txn_t "lca of unrelated" Txn.root (Txn.lca t1 t2);
+  Alcotest.check txn_t "lca of equal" t11 (Txn.lca t11 t11)
+
+let test_siblings () =
+  Alcotest.(check bool) "siblings" true (Txn.are_siblings t11 t12);
+  Alcotest.(check bool) "not own sibling" false (Txn.are_siblings t11 t11);
+  Alcotest.(check bool) "different depth" false (Txn.are_siblings t1 t11);
+  Alcotest.(check bool) "root no siblings" false (Txn.are_siblings Txn.root t1)
+
+let test_access_info () =
+  let a = Txn.child t1 acc_seg in
+  Alcotest.(check (option string)) "obj" (Some "o1") (Txn.obj_of a);
+  Alcotest.(check bool) "kind read" true (Txn.kind_of a = Some Txn.Read);
+  Alcotest.(check bool) "non-access has no obj" true (Txn.obj_of t1 = None)
+
+let test_depth () =
+  Alcotest.(check int) "root depth" 0 (Txn.depth Txn.root);
+  Alcotest.(check int) "grandchild depth" 3 (Txn.depth t111)
+
+(* ---------- Value ---------- *)
+
+let test_value_equal () =
+  let open Value in
+  Alcotest.(check bool) "ints" true (equal (Int 3) (Int 3));
+  Alcotest.(check bool) "int vs str" false (equal (Int 3) (Str "3"));
+  Alcotest.(check bool) "versioned" true
+    (equal (Versioned (1, Int 2)) (Versioned (1, Int 2)));
+  Alcotest.(check bool) "versioned vn differs" false
+    (equal (Versioned (1, Int 2)) (Versioned (2, Int 2)));
+  Alcotest.(check bool) "lists" true
+    (equal (List [ Int 1; Nil ]) (List [ Int 1; Nil ]));
+  Alcotest.(check bool) "list length differs" false
+    (equal (List [ Int 1 ]) (List [ Int 1; Int 1 ]))
+
+let test_config_equal () =
+  let c1 = { Value.read_quorums = [ [ "a" ] ]; write_quorums = [ [ "a"; "b" ] ] } in
+  let c2 = { Value.read_quorums = [ [ "a" ] ]; write_quorums = [ [ "a"; "b" ] ] } in
+  let c3 = { Value.read_quorums = [ [ "b" ] ]; write_quorums = [ [ "a"; "b" ] ] } in
+  Alcotest.(check bool) "equal" true (Value.config_equal c1 c2);
+  Alcotest.(check bool) "not equal" false (Value.config_equal c1 c3)
+
+(* ---------- Action ---------- *)
+
+let test_action_basics () =
+  let a = Action.Create t1 in
+  Alcotest.check txn_t "txn of create" t1 (Action.txn a);
+  Alcotest.(check bool) "commit is return" true
+    (Action.is_return (Action.Commit (t1, Value.Nil)));
+  Alcotest.(check bool) "abort is return" true (Action.is_return (Action.Abort t1));
+  Alcotest.(check bool) "create is not return" false (Action.is_return a);
+  Alcotest.(check bool) "is_return_for matches" true
+    (Action.is_return_for t1 (Action.Abort t1));
+  Alcotest.(check bool) "is_return_for other txn" false
+    (Action.is_return_for t1 (Action.Abort t2))
+
+(* ---------- Well-formedness ---------- *)
+
+let step_txn_seq who ops =
+  List.fold_left
+    (fun acc a -> Result.bind acc (fun st -> Wellformed.Txn_check.step st a))
+    (Ok (Wellformed.Txn_check.init who))
+    ops
+
+let test_wf_txn_ok () =
+  let ops =
+    [
+      Action.Create t1;
+      Action.Request_create t11;
+      Action.Commit (t11, Value.Nil);
+      Action.Request_commit (t1, Value.Nil);
+    ]
+  in
+  Alcotest.(check bool) "well-formed" true (Result.is_ok (step_txn_seq t1 ops))
+
+let test_wf_txn_double_create () =
+  let ops = [ Action.Create t1; Action.Create t1 ] in
+  Alcotest.(check bool) "double create rejected" true
+    (Result.is_error (step_txn_seq t1 ops))
+
+let test_wf_txn_request_before_create () =
+  let ops = [ Action.Request_create t11 ] in
+  Alcotest.(check bool) "request before create rejected" true
+    (Result.is_error (step_txn_seq t1 ops))
+
+let test_wf_txn_double_request () =
+  let ops =
+    [ Action.Create t1; Action.Request_create t11; Action.Request_create t11 ]
+  in
+  Alcotest.(check bool) "double request rejected" true
+    (Result.is_error (step_txn_seq t1 ops))
+
+let test_wf_txn_return_unrequested () =
+  let ops = [ Action.Create t1; Action.Commit (t11, Value.Nil) ] in
+  Alcotest.(check bool) "return for unrequested child rejected" true
+    (Result.is_error (step_txn_seq t1 ops))
+
+let test_wf_txn_double_return () =
+  let ops =
+    [
+      Action.Create t1;
+      Action.Request_create t11;
+      Action.Commit (t11, Value.Nil);
+      Action.Abort t11;
+    ]
+  in
+  Alcotest.(check bool) "conflicting returns rejected" true
+    (Result.is_error (step_txn_seq t1 ops))
+
+let test_wf_txn_request_after_commit () =
+  let ops =
+    [
+      Action.Create t1;
+      Action.Request_commit (t1, Value.Nil);
+      Action.Request_create t11;
+    ]
+  in
+  Alcotest.(check bool) "request after own commit rejected" true
+    (Result.is_error (step_txn_seq t1 ops))
+
+let test_wf_txn_double_commit_request () =
+  let ops =
+    [
+      Action.Create t1;
+      Action.Request_commit (t1, Value.Nil);
+      Action.Request_commit (t1, Value.Int 2);
+    ]
+  in
+  Alcotest.(check bool) "double request-commit rejected" true
+    (Result.is_error (step_txn_seq t1 ops))
+
+let step_obj_seq obj ops =
+  List.fold_left
+    (fun acc a -> Result.bind acc (fun st -> Wellformed.Object_check.step st a))
+    (Ok (Wellformed.Object_check.init obj))
+    ops
+
+let acc n =
+  Txn.child t1 (Txn.Access { obj = "o1"; kind = Txn.Read; data = Value.Nil; seq = n })
+
+let test_wf_obj_ok () =
+  let ops =
+    [
+      Action.Create (acc 0);
+      Action.Request_commit (acc 0, Value.Nil);
+      Action.Create (acc 1);
+      Action.Request_commit (acc 1, Value.Nil);
+    ]
+  in
+  Alcotest.(check bool) "alternating ok" true (Result.is_ok (step_obj_seq "o1" ops))
+
+let test_wf_obj_two_pending () =
+  let ops = [ Action.Create (acc 0); Action.Create (acc 1) ] in
+  Alcotest.(check bool) "two pending rejected" true
+    (Result.is_error (step_obj_seq "o1" ops))
+
+let test_wf_obj_commit_without_create () =
+  let ops = [ Action.Request_commit (acc 0, Value.Nil) ] in
+  Alcotest.(check bool) "commit without create rejected" true
+    (Result.is_error (step_obj_seq "o1" ops))
+
+let test_wf_obj_wrong_access_commit () =
+  let ops = [ Action.Create (acc 0); Action.Request_commit (acc 1, Value.Nil) ] in
+  Alcotest.(check bool) "mismatched commit rejected" true
+    (Result.is_error (step_obj_seq "o1" ops))
+
+let test_wf_obj_recreate () =
+  let ops =
+    [
+      Action.Create (acc 0);
+      Action.Request_commit (acc 0, Value.Nil);
+      Action.Create (acc 0);
+    ]
+  in
+  Alcotest.(check bool) "re-create rejected" true
+    (Result.is_error (step_obj_seq "o1" ops))
+
+(* ---------- Schedule ---------- *)
+
+let test_schedule_projections () =
+  let sched =
+    [
+      Action.Create t1;
+      Action.Request_create t11;
+      Action.Create t11;
+      Action.Request_commit (t11, Value.Int 1);
+      Action.Commit (t11, Value.Int 1);
+      Action.Request_commit (t1, Value.Nil);
+    ]
+  in
+  (* ops about t11: its request-create, create, request-commit, commit *)
+  Alcotest.(check int) "project_txn t11" 4
+    (List.length (Schedule.project_txn t11 sched));
+  Alcotest.(check int) "subtree t1 = all" 6
+    (List.length (Schedule.project_subtree t1 sched));
+  (* the view of t1: its create, its request-create of t11, the commit
+     of t11, its own request-commit *)
+  Alcotest.(check int) "view of t1" 4 (List.length (Schedule.view_of t1 sched));
+  Alcotest.(check int) "erase t11 ops" 2
+    (List.length (Schedule.erase (Txn.equal t11) sched))
+
+(* ---------- Composition ---------- *)
+
+(* A trivial one-shot emitter: outputs a single fixed action. *)
+let emitter name action =
+  Automaton.make ~name
+    ~is_input:(fun _ -> false)
+    ~is_output:(Action.equal action)
+    ~state:false
+    ~transition:(fun fired a ->
+      if Action.equal a action && not fired then Some true else None)
+    ~enabled:(fun fired -> if fired then [] else [ action ])
+    ()
+
+let test_compose_apply () =
+  let a = Action.Request_create t1 in
+  let sys = System.compose [ emitter "e1" a ] in
+  Alcotest.(check int) "one enabled" 1 (List.length (System.enabled sys));
+  match System.apply sys a with
+  | Ok sys' -> Alcotest.(check int) "quiescent" 0 (List.length (System.enabled sys'))
+  | Error e -> Alcotest.fail e
+
+let test_compose_duplicate_outputs () =
+  let a = Action.Request_create t1 in
+  let sys = System.compose [ emitter "e1" a; emitter "e2" a ] in
+  Alcotest.(check bool) "duplicate owner rejected" true
+    (Result.is_error (System.apply sys a))
+
+let test_compose_unowned () =
+  let a = Action.Request_create t1 in
+  let sys = System.compose [ emitter "e1" a ] in
+  Alcotest.(check bool) "unowned action rejected" true
+    (Result.is_error (System.apply sys (Action.Request_create t2)))
+
+let test_run_records_schedule () =
+  let a = Action.Request_create t1 and b = Action.Request_create t2 in
+  let sys = System.compose [ emitter "e1" a; emitter "e2" b ] in
+  let r = System.run ~rng:(Qc_util.Prng.create 3) sys in
+  Alcotest.(check bool) "quiescent" true r.System.quiescent;
+  Alcotest.(check int) "two steps" 2 (List.length r.System.schedule)
+
+let test_replay_roundtrip () =
+  let a = Action.Request_create t1 and b = Action.Request_create t2 in
+  let make () = System.compose [ emitter "e1" a; emitter "e2" b ] in
+  let r = System.run ~rng:(Qc_util.Prng.create 5) (make ()) in
+  Alcotest.(check bool) "replays" true
+    (Result.is_ok (System.replay (make ()) r.System.schedule));
+  (* replaying the schedule twice must fail (one-shot emitters) *)
+  Alcotest.(check bool) "double replay fails" true
+    (Result.is_error
+       (System.replay (make ()) (r.System.schedule @ r.System.schedule)))
+
+let suites =
+  [
+    ( "ioa.txn",
+      [
+        Alcotest.test_case "parent" `Quick test_parent;
+        Alcotest.test_case "parent of root" `Quick test_parent_of_root;
+        Alcotest.test_case "ancestor relations" `Quick test_ancestor;
+        Alcotest.test_case "lca" `Quick test_lca;
+        Alcotest.test_case "siblings" `Quick test_siblings;
+        Alcotest.test_case "access attributes" `Quick test_access_info;
+        Alcotest.test_case "depth" `Quick test_depth;
+      ] );
+    ( "ioa.value",
+      [
+        Alcotest.test_case "equality" `Quick test_value_equal;
+        Alcotest.test_case "config equality" `Quick test_config_equal;
+      ] );
+    ("ioa.action", [ Alcotest.test_case "basics" `Quick test_action_basics ]);
+    ( "ioa.wellformed",
+      [
+        Alcotest.test_case "txn: legal sequence" `Quick test_wf_txn_ok;
+        Alcotest.test_case "txn: double create" `Quick test_wf_txn_double_create;
+        Alcotest.test_case "txn: request before create" `Quick
+          test_wf_txn_request_before_create;
+        Alcotest.test_case "txn: double request" `Quick test_wf_txn_double_request;
+        Alcotest.test_case "txn: return unrequested" `Quick
+          test_wf_txn_return_unrequested;
+        Alcotest.test_case "txn: conflicting returns" `Quick
+          test_wf_txn_double_return;
+        Alcotest.test_case "txn: request after commit" `Quick
+          test_wf_txn_request_after_commit;
+        Alcotest.test_case "txn: double commit request" `Quick
+          test_wf_txn_double_commit_request;
+        Alcotest.test_case "obj: alternating" `Quick test_wf_obj_ok;
+        Alcotest.test_case "obj: two pending" `Quick test_wf_obj_two_pending;
+        Alcotest.test_case "obj: commit without create" `Quick
+          test_wf_obj_commit_without_create;
+        Alcotest.test_case "obj: mismatched commit" `Quick
+          test_wf_obj_wrong_access_commit;
+        Alcotest.test_case "obj: re-create" `Quick test_wf_obj_recreate;
+      ] );
+    ( "ioa.schedule",
+      [ Alcotest.test_case "projections" `Quick test_schedule_projections ] );
+    ( "ioa.system",
+      [
+        Alcotest.test_case "compose and apply" `Quick test_compose_apply;
+        Alcotest.test_case "duplicate outputs rejected" `Quick
+          test_compose_duplicate_outputs;
+        Alcotest.test_case "unowned action rejected" `Quick test_compose_unowned;
+        Alcotest.test_case "run records schedule" `Quick test_run_records_schedule;
+        Alcotest.test_case "replay roundtrip" `Quick test_replay_roundtrip;
+      ] );
+  ]
+
+(* ---------- families ---------- *)
+
+(* a family of one-shot counters: each member, once created, can emit
+   its own REQUEST_COMMIT carrying how many pokes it received *)
+let family_member_spec =
+  {
+    Family.init = (fun _ -> (false, 0));
+    transition =
+      (fun (created, pokes) a ->
+        match a with
+        | Action.Create _ -> Some (true, pokes)
+        | Action.Commit (_, _) -> Some (created, pokes + 1)
+        | Action.Request_commit (_, Value.Int n)
+          when created && n = pokes ->
+            Some (false, pokes)
+        | _ -> None);
+    enabled =
+      (fun (created, pokes) ->
+        if created then [ Action.Request_commit ([], Value.Int pokes) ] else []);
+    m_is_input =
+      (fun m a ->
+        match a with
+        | Action.Create t -> Txn.equal t m
+        | Action.Commit (t, _) ->
+            (not (Txn.is_root t)) && Txn.equal (Txn.parent t) m
+        | _ -> false);
+    m_is_output =
+      (fun m a ->
+        match a with Action.Request_commit (t, _) -> Txn.equal t m | _ -> false);
+  }
+
+(* fix the enabled function to name the right member *)
+let family_member_spec =
+  { family_member_spec with Family.enabled = (fun _ -> []) }
+
+let fam_member name : Txn.t = [ Txn.Seg "host"; Txn.Param ("m", Value.Str name) ]
+
+let test_family_routing () =
+  let member t =
+    List.length t = 2 && Txn.is_ancestor [ Txn.Seg "host" ] t
+    && match Txn.last_seg t with Some (Txn.Param ("m", _)) -> true | _ -> false
+  in
+  let fam = Family.make ~name:"fam" ~member family_member_spec in
+  (* operations of a member are in the family's signature *)
+  Alcotest.(check bool) "member create is input" true
+    (Component.is_input fam (Action.Create (fam_member "a")));
+  Alcotest.(check bool) "child return is input" true
+    (Component.is_input fam
+       (Action.Commit (Txn.child (fam_member "a") (Txn.Seg "c"), Value.Nil)));
+  Alcotest.(check bool) "non-member ignored" false
+    (Component.has_action fam (Action.Create [ Txn.Seg "other" ]));
+  (* lazy instantiation: two members evolve independently *)
+  let fam = Option.get (Component.step fam (Action.Create (fam_member "a"))) in
+  let fam =
+    Option.get
+      (Component.step fam
+         (Action.Commit (Txn.child (fam_member "a") (Txn.Seg "c"), Value.Nil)))
+  in
+  let fam = Option.get (Component.step fam (Action.Create (fam_member "b"))) in
+  (* member a saw one poke, member b zero *)
+  Alcotest.(check bool) "member state independent" true
+    (Component.describe fam <> "")
+
+let test_member_of_action () =
+  let member t = Txn.equal t (fam_member "a") in
+  Alcotest.(check bool) "own action routes to member" true
+    (Family.member_of_action ~member (Action.Create (fam_member "a"))
+    = Some (fam_member "a"));
+  Alcotest.(check bool) "child action routes to parent member" true
+    (Family.member_of_action ~member
+       (Action.Commit (Txn.child (fam_member "a") (Txn.Seg "x"), Value.Nil))
+    = Some (fam_member "a"));
+  Alcotest.(check bool) "unrelated action routes nowhere" true
+    (Family.member_of_action ~member (Action.Create [ Txn.Seg "z" ]) = None)
+
+let family_suite =
+  ( "ioa.family",
+    [
+      Alcotest.test_case "signature and routing" `Quick test_family_routing;
+      Alcotest.test_case "member_of_action" `Quick test_member_of_action;
+    ] )
+
+let suites = suites @ [ family_suite ]

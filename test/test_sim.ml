@@ -1,0 +1,226 @@
+(* Tests for the discrete-event simulator: heap, clock, network,
+   failures, statistics. *)
+
+module Prng = Qc_util.Prng
+
+(* ---------- heap ---------- *)
+
+let test_heap_ordering () =
+  let h = Sim.Heap.create () in
+  List.iteri (fun i t -> Sim.Heap.push h t i t) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let rec drain acc =
+    match Sim.Heap.pop h with
+    | Some (t, _, _) -> drain (t :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list (float 0.0)))
+    "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (drain [])
+
+let test_heap_fifo_ties () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.push h 1.0 1 "first";
+  Sim.Heap.push h 1.0 2 "second";
+  (match Sim.Heap.pop h with
+  | Some (_, _, v) -> Alcotest.(check string) "fifo" "first" v
+  | None -> Alcotest.fail "pop");
+  match Sim.Heap.pop h with
+  | Some (_, _, v) -> Alcotest.(check string) "fifo 2" "second" v
+  | None -> Alcotest.fail "pop"
+
+let prop_heap_sorted =
+  QCheck.Test.make ~count:100 ~name:"heap drains in key order"
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun times ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i t -> Sim.Heap.push h t i ()) times;
+      let rec drain prev =
+        match Sim.Heap.pop h with
+        | None -> true
+        | Some (t, _, ()) -> t >= prev && drain t
+      in
+      drain neg_infinity)
+
+(* ---------- clock ---------- *)
+
+let test_sim_time_advances () =
+  let sim = Sim.Core.create ~seed:1 in
+  let order = ref [] in
+  Sim.Core.schedule sim ~delay:5.0 (fun () -> order := "b" :: !order);
+  Sim.Core.schedule sim ~delay:1.0 (fun () ->
+      order := "a" :: !order;
+      Sim.Core.schedule sim ~delay:1.0 (fun () -> order := "c" :: !order));
+  Sim.Core.run sim;
+  Alcotest.(check (list string)) "event order" [ "a"; "c"; "b" ] (List.rev !order);
+  Alcotest.(check (float 0.001)) "final time" 5.0 (Sim.Core.now sim)
+
+let test_sim_until () =
+  let sim = Sim.Core.create ~seed:1 in
+  let fired = ref false in
+  Sim.Core.schedule sim ~delay:10.0 (fun () -> fired := true);
+  Sim.Core.run ~until:5.0 sim;
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check (float 0.001)) "clock at bound" 5.0 (Sim.Core.now sim)
+
+(* ---------- network ---------- *)
+
+let mk_net ?(loss = 0.0) () =
+  let sim = Sim.Core.create ~seed:3 in
+  let net =
+    Sim.Net.create ~sim ~nodes:[ "a"; "b" ]
+      ~latency:(Sim.Net.uniform_latency ~lo:1.0 ~hi:2.0)
+      ~loss ()
+  in
+  (sim, net)
+
+let test_net_delivery () =
+  let sim, net = mk_net () in
+  let got = ref [] in
+  Sim.Net.register net ~node:"b" (fun ~src msg -> got := (src, msg) :: !got);
+  Sim.Net.send net ~src:"a" ~dst:"b" 42;
+  Sim.Core.run sim;
+  Alcotest.(check (list (pair string int))) "delivered" [ ("a", 42) ] !got
+
+let test_net_crash_drops () =
+  let sim, net = mk_net () in
+  let got = ref 0 in
+  Sim.Net.register net ~node:"b" (fun ~src:_ _ -> incr got);
+  Sim.Net.crash net "b";
+  Sim.Net.send net ~src:"a" ~dst:"b" 1;
+  Sim.Core.run sim;
+  Alcotest.(check int) "dropped at dead dst" 0 !got;
+  Sim.Net.recover net "b";
+  Sim.Net.send net ~src:"a" ~dst:"b" 2;
+  Sim.Core.run sim;
+  Alcotest.(check int) "delivered after recovery" 1 !got
+
+let test_net_dead_sender () =
+  let sim, net = mk_net () in
+  let got = ref 0 in
+  Sim.Net.register net ~node:"b" (fun ~src:_ _ -> incr got);
+  Sim.Net.crash net "a";
+  Sim.Net.send net ~src:"a" ~dst:"b" 1;
+  Sim.Core.run sim;
+  Alcotest.(check int) "dead sender drops" 0 !got
+
+let test_net_link_cut () =
+  let sim, net = mk_net () in
+  let got = ref 0 in
+  Sim.Net.register net ~node:"b" (fun ~src:_ _ -> incr got);
+  Sim.Net.cut_link net "a" "b";
+  Sim.Net.send net ~src:"a" ~dst:"b" 1;
+  Sim.Core.run sim;
+  Alcotest.(check int) "cut link drops" 0 !got;
+  Sim.Net.heal_link net "a" "b";
+  Sim.Net.send net ~src:"a" ~dst:"b" 2;
+  Sim.Core.run sim;
+  Alcotest.(check int) "healed link delivers" 1 !got
+
+let test_net_loss_rate () =
+  let sim, net = mk_net ~loss:0.5 () in
+  let got = ref 0 in
+  Sim.Net.register net ~node:"b" (fun ~src:_ _ -> incr got);
+  for _ = 1 to 2000 do
+    Sim.Net.send net ~src:"a" ~dst:"b" 0
+  done;
+  Sim.Core.run sim;
+  let rate = float_of_int !got /. 2000.0 in
+  Alcotest.(check bool)
+    (Fmt.str "delivery rate %.3f close to 0.5" rate)
+    true
+    (abs_float (rate -. 0.5) < 0.05)
+
+let test_sim_determinism () =
+  let run () =
+    let sim, net = mk_net ~loss:0.3 () in
+    let got = ref 0 in
+    Sim.Net.register net ~node:"b" (fun ~src:_ _ -> incr got);
+    for _ = 1 to 100 do
+      Sim.Net.send net ~src:"a" ~dst:"b" 0
+    done;
+    Sim.Core.run sim;
+    (!got, Sim.Core.now sim)
+  in
+  Alcotest.(check bool) "same seed, same outcome" true (run () = run ())
+
+(* ---------- failures ---------- *)
+
+let test_failure_availability () =
+  (* a node under mtbf=90 mttr=10 should be up ~90% of the time *)
+  let sim = Sim.Core.create ~seed:5 in
+  let net =
+    Sim.Net.create ~sim ~nodes:[ "n" ]
+      ~latency:(Sim.Net.uniform_latency ~lo:0.1 ~hi:0.2)
+      ()
+  in
+  let spec = { Sim.Failure.mtbf = 90.0; mttr = 10.0 } in
+  Alcotest.(check (float 0.001)) "analytic availability" 0.9
+    (Sim.Failure.availability spec);
+  Sim.Failure.attach ~sim ~net ~node:"n" ~spec ~until:100_000.0 ();
+  let up_samples = ref 0 and samples = 1000 in
+  let rec sample i =
+    if i < samples then
+      Sim.Core.schedule sim ~delay:100.0 (fun () ->
+          if Sim.Net.is_up net "n" then incr up_samples;
+          sample (i + 1))
+  in
+  sample 0;
+  Sim.Core.run ~until:100_001.0 sim;
+  let frac = float_of_int !up_samples /. float_of_int samples in
+  Alcotest.(check bool)
+    (Fmt.str "measured availability %.3f close to 0.9" frac)
+    true
+    (abs_float (frac -. 0.9) < 0.05)
+
+(* ---------- stats ---------- *)
+
+let test_stats_percentiles () =
+  let s = Sim.Stats.create () in
+  for i = 1 to 100 do
+    Sim.Stats.add s (float_of_int i)
+  done;
+  let sum = Sim.Stats.summarize s in
+  Alcotest.(check int) "count" 100 sum.Sim.Stats.count;
+  Alcotest.(check (float 0.001)) "mean" 50.5 sum.Sim.Stats.mean;
+  Alcotest.(check (float 0.001)) "p50" 50.0 sum.Sim.Stats.p50;
+  Alcotest.(check (float 0.001)) "p90" 90.0 sum.Sim.Stats.p90;
+  Alcotest.(check (float 0.001)) "p99" 99.0 sum.Sim.Stats.p99;
+  Alcotest.(check (float 0.001)) "max" 100.0 sum.Sim.Stats.max
+
+let test_stats_empty () =
+  let sum = Sim.Stats.summarize (Sim.Stats.create ()) in
+  Alcotest.(check int) "count 0" 0 sum.Sim.Stats.count
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "sim.heap",
+      [
+        Alcotest.test_case "orders by time" `Quick test_heap_ordering;
+        Alcotest.test_case "fifo on ties" `Quick test_heap_fifo_ties;
+        qcheck prop_heap_sorted;
+      ] );
+    ( "sim.core",
+      [
+        Alcotest.test_case "time advances with events" `Quick test_sim_time_advances;
+        Alcotest.test_case "run until bound" `Quick test_sim_until;
+      ] );
+    ( "sim.net",
+      [
+        Alcotest.test_case "delivery" `Quick test_net_delivery;
+        Alcotest.test_case "crash drops, recover delivers" `Quick
+          test_net_crash_drops;
+        Alcotest.test_case "dead sender drops" `Quick test_net_dead_sender;
+        Alcotest.test_case "link cut and heal" `Quick test_net_link_cut;
+        Alcotest.test_case "loss rate" `Quick test_net_loss_rate;
+        Alcotest.test_case "determinism" `Quick test_sim_determinism;
+      ] );
+    ( "sim.failure",
+      [ Alcotest.test_case "availability matches spec" `Quick test_failure_availability ]
+    );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+        Alcotest.test_case "empty summary" `Quick test_stats_empty;
+      ] );
+  ]
