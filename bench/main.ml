@@ -282,7 +282,31 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
+(* OBS_TRACE=FILE dumps a Chrome trace of a small seeded cluster run
+   alongside the benchmarks — the per-operation window into what the
+   bench numbers aggregate. *)
+let dump_trace_if_asked () =
+  match Sys.getenv_opt "OBS_TRACE" with
+  | None -> ()
+  | Some path ->
+      let r =
+        Store.Cluster.run
+          {
+            Store.Cluster.default_params with
+            workload = { Store.Workload.default_spec with ops_per_client = 25 };
+            seed = fixture_seed;
+            trace_capacity = 262144;
+          }
+      in
+      (try
+         Obs.Export.write_chrome path r.Store.Cluster.trace;
+         Fmt.epr "OBS_TRACE: wrote %d events to %s@."
+           (Obs.Trace.length r.Store.Cluster.trace)
+           path
+       with Sys_error e -> Fmt.epr "OBS_TRACE: cannot write trace: %s@." e)
+
 let () =
+  dump_trace_if_asked ();
   let results = benchmark () in
   Fmt.pr "%-55s %18s@." "benchmark" "ns/run";
   Fmt.pr "%s@." (String.make 74 '-');

@@ -1,0 +1,156 @@
+(* Dump an execution trace from a seeded simulated run.
+
+   Runs a small replicated-store cluster (sim + net + store layers)
+   and, unless --no-ioa, a randomized system-B execution through the
+   quorum harness (ioa layer) — all into ONE tracer — then exports it
+   as JSONL or Chrome trace_event JSON (load the latter in
+   chrome://tracing or https://ui.perfetto.dev).
+
+   Examples:
+     trace_dump.exe --seed 7 -o trace.json
+     trace_dump.exe --format jsonl --ops 50 | head
+     trace_dump.exe --validate          # well-formedness smoke check *)
+
+open Cmdliner
+
+let run_dump seed replicas clients ops loss partitions capacity format out
+    validate no_ioa with_metrics =
+  let tracer = Obs.Trace.create ~capacity () in
+  (* the store/net/sim layers: a seeded cluster run *)
+  let results =
+    Store.Cluster.run
+      {
+        Store.Cluster.default_params with
+        n_replicas = replicas;
+        n_clients = clients;
+        workload =
+          { Store.Workload.default_spec with ops_per_client = ops };
+        loss;
+        partitions;
+        seed;
+        tracer = Some tracer;
+      }
+  in
+  (* the ioa layer: a short system-B action trail through the harness *)
+  (if not no_ioa then
+     match Quorum.Harness.run_and_check ~max_steps:400 ~tracer ~seed () with
+     | Ok _ -> ()
+     | Error e -> Fmt.epr "warning: harness check failed: %s@." e);
+  if with_metrics then
+    Fmt.epr "%s" (Obs.Metrics.dump results.Store.Cluster.metrics);
+  let contents =
+    match format with
+    | `Chrome -> Obs.Export.chrome tracer
+    | `Jsonl -> Obs.Export.jsonl tracer
+  in
+  let validation =
+    if not validate then Ok ()
+    else
+      match format with
+      | `Chrome -> Obs.Export.check_chrome contents
+      | `Jsonl -> (
+          (* every line parses, and spans balance *)
+          let lines =
+            List.filter (fun l -> String.length l > 0)
+              (String.split_on_char '\n' contents)
+          in
+          let bad =
+            List.find_map
+              (fun l ->
+                match Obs.Json.parse l with
+                | Ok _ -> None
+                | Error e -> Some (Fmt.str "bad JSONL line: %s" e))
+              lines
+          in
+          match bad with
+          | Some e -> Error e
+          | None -> Obs.Query.check_balanced (Obs.Trace.events tracer))
+  in
+  match
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Fmt.epr "wrote %d events (%d overwritten) to %s@."
+          (Obs.Trace.length tracer)
+          (Obs.Trace.overwritten tracer)
+          path
+    | None -> print_string contents
+  with
+  | exception Sys_error e ->
+      Fmt.epr "cannot write trace: %s@." e;
+      1
+  | () -> (
+      match validation with
+      | Ok () ->
+          if validate then Fmt.epr "trace OK: valid JSON, spans balanced@.";
+          0
+      | Error e ->
+          Fmt.epr "trace INVALID: %s@." e;
+          1)
+
+let seed =
+  Arg.(value & opt int 7 & info [ "s"; "seed" ] ~doc:"Simulation seed.")
+
+let replicas =
+  Arg.(value & opt int 5 & info [ "replicas" ] ~doc:"Number of replicas.")
+
+let clients =
+  Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Number of clients.")
+
+let ops =
+  Arg.(value & opt int 20 & info [ "ops" ] ~doc:"Operations per client.")
+
+let loss =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"Message loss rate.")
+
+let partitions =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "partitions" ] ~doc:"Mean time between nemesis partitions.")
+
+let capacity =
+  Arg.(
+    value & opt int 262144
+    & info [ "capacity" ] ~doc:"Trace ring-buffer capacity (events).")
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+    & info [ "format" ] ~doc:"Output format: $(b,chrome) or $(b,jsonl).")
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE (default stdout).")
+
+let validate =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:"Check the export is valid JSON with balanced span begin/ends; \
+              exit 1 otherwise.")
+
+let no_ioa =
+  Arg.(
+    value & flag
+    & info [ "no-ioa" ] ~doc:"Skip the system-B (ioa layer) run.")
+
+let with_metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Also dump the metrics registry to stderr.")
+
+let cmd =
+  let doc = "dump a simulation trace (Chrome trace_event or JSONL)" in
+  Cmd.v
+    (Cmd.info "trace_dump" ~doc)
+    Term.(
+      const run_dump $ seed $ replicas $ clients $ ops $ loss $ partitions
+      $ capacity $ format $ out $ validate $ no_ioa $ with_metrics)
+
+let () = exit (Cmd.eval' cmd)

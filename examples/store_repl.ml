@@ -10,7 +10,13 @@
      heal A B
      dump               print every replica's stored state
      stats              ops / network counters
+     metrics            dump the metrics registry
+     trace FILE         write the session's Chrome trace (Perfetto)
      help | quit
+
+   Every operation is traced; `trace session.json` writes what
+   happened so far, and setting OBS_TRACE=FILE in the environment
+   writes the whole session's trace on quit.
 
    Example:
      printf 'put a 1\ncrash r0\ncrash r1\nput a 2\nget a\nquit\n' \
@@ -21,6 +27,9 @@ module Net = Sim.Net
 
 let () =
   let sim = Core.create ~seed:7 in
+  let tracer = Obs.Trace.create ~capacity:65536 () in
+  Core.attach_tracer sim tracer;
+  let metrics = Obs.Metrics.create () in
   let replica_names = List.init 5 (fun i -> Fmt.str "r%d" i) in
   let net =
     Net.create ~sim
@@ -28,13 +37,15 @@ let () =
       ~latency:(Net.lognormal_latency ~mu:0.7 ~sigma:0.4)
       ()
   in
-  let replicas = List.map (fun name -> Store.Replica.create ~name) replica_names in
+  let replicas =
+    List.map (fun name -> Store.Replica.create ~metrics ~name ()) replica_names
+  in
   List.iter (fun r -> Store.Replica.attach r ~net) replicas;
   let client =
     Store.Client.create ~name:"client" ~sim ~net
       ~replicas:(Array.of_list replica_names)
       ~strategy:(Store.Strategy.majority 5)
-      ~timeout:50.0 ~read_repair:true ()
+      ~timeout:50.0 ~read_repair:true ~metrics ()
   in
   Store.Client.attach client;
   Fmt.pr "replicated store: 5 replicas, majority quorums, read repair on.@.";
@@ -50,11 +61,20 @@ let () =
     | Some line -> (
         match String.split_on_char ' ' (String.trim line) with
         | [ "" ] -> loop ()
-        | [ "quit" ] | [ "exit" ] -> Fmt.pr "bye.@."
+        | [ "quit" ] | [ "exit" ] ->
+            (match Sys.getenv_opt "OBS_TRACE" with
+            | Some path -> (
+                try
+                  Obs.Export.write_chrome path tracer;
+                  Fmt.pr "wrote %d trace events to %s@."
+                    (Obs.Trace.length tracer) path
+                with Sys_error e -> Fmt.pr "cannot write trace: %s@." e)
+            | None -> ());
+            Fmt.pr "bye.@."
         | [ "help" ] ->
             Fmt.pr
               "put KEY INT | get KEY | crash NODE | recover NODE | cut A B | \
-               heal A B | dump | stats | quit@.";
+               heal A B | dump | stats | metrics | trace FILE | quit@.";
             loop ()
         | [ "put"; key; v ] ->
             (match int_of_string_opt v with
@@ -106,12 +126,27 @@ let () =
                   (String.concat " " (List.sort compare state)))
               replicas;
             loop ()
+        | [ "metrics" ] ->
+            Fmt.pr "%s%!" (Obs.Metrics.dump metrics);
+            loop ()
+        | [ "trace"; path ] ->
+            (try
+               Obs.Export.write_chrome path tracer;
+               Fmt.pr "wrote %d trace events to %s (open in chrome://tracing \
+                       or ui.perfetto.dev)@."
+                 (Obs.Trace.length tracer) path
+             with Sys_error e -> Fmt.pr "cannot write trace: %s@." e);
+            loop ()
         | [ "stats" ] ->
             let c = Net.counters net in
             Fmt.pr "ops ok=%d failed=%d repairs=%d | msgs sent=%d delivered=%d \
-                    dropped=%d | sim time %.1f@."
-              client.Store.Client.ops_ok client.ops_failed client.repairs_sent
-              c.Net.sent c.delivered c.dropped (Core.now sim);
+                    dropped=%d (sender_down=%d dest_down=%d link_cut=%d \
+                    loss=%d) | sim time %.1f@."
+              (Obs.Metrics.value client.Store.Client.ops_ok)
+              (Obs.Metrics.value client.ops_failed)
+              (Obs.Metrics.value client.repairs_sent)
+              c.Net.sent c.delivered c.dropped c.drop_sender_down
+              c.drop_dest_down c.drop_link_cut c.drop_loss (Core.now sim);
             loop ()
         | _ ->
             Fmt.pr "unknown command (try 'help')@.";

@@ -91,7 +91,7 @@ let run_rw ~seed : row =
       ~latency:(Net.lognormal_latency ~mu:1.0 ~sigma:0.5)
       ()
   in
-  let replicas = List.map (fun name -> Store.Replica.create ~name) replica_names in
+  let replicas = List.map (fun name -> Store.Replica.create ~name ()) replica_names in
   List.iter (fun r -> Store.Replica.attach r ~net) replicas;
   let client =
     Store.Client.create ~name:"c0" ~sim ~net
@@ -214,7 +214,7 @@ let race_rw ~seed : race_row =
       ~latency:(Net.lognormal_latency ~mu:1.0 ~sigma:0.5)
       ()
   in
-  let replicas = List.map (fun name -> Store.Replica.create ~name) replica_names in
+  let replicas = List.map (fun name -> Store.Replica.create ~name ()) replica_names in
   List.iter (fun r -> Store.Replica.attach r ~net) replicas;
   let completed = ref 0 and final = ref 0 in
   let per_client = 100 in

@@ -107,19 +107,53 @@ type run_result = {
   quiescent : bool;  (** true when the run stopped with nothing enabled *)
 }
 
-(** [run ~rng ?strategy ?max_steps t] drives the composition until
-    quiescence or the step bound, returning the schedule produced.
-    Each operation picked is validated through {!apply}, so the
-    result is by construction a schedule of the composition. *)
-let run ?(max_steps = 10_000) ?(strategy = uniform) ~rng (t : t) : run_result
-    =
+(** [run ~rng ?strategy ?max_steps ?tracer t] drives the composition
+    until quiescence or the step bound, returning the schedule
+    produced.  Each operation picked is validated through {!apply}, so
+    the result is by construction a schedule of the composition.
+
+    With a [tracer], every step fires an instant event (category
+    "ioa", timestamped with the step index, the rendered operation in
+    the args) — when a downstream check fails, the trace holds the
+    exact action trail that produced the schedule. *)
+let run ?(max_steps = 10_000) ?(strategy = uniform) ?tracer ~rng (t : t) :
+    run_result =
+  let trace_step n a menu =
+    match tracer with
+    | Some tr when Obs.Trace.enabled tr ->
+        Obs.Trace.instant tr ~cat:"ioa" ~name:"step" ~track:"scheduler"
+          ~ts:(float_of_int n)
+          ~args:
+            [
+              ("i", Obs.Trace.Int n);
+              ("action", Obs.Trace.Str (Fmt.str "%a" Action.pp a));
+              ("enabled", Obs.Trace.Int menu);
+            ]
+          ()
+    | _ -> ()
+  in
+  let trace_stop n reason =
+    match tracer with
+    | Some tr when Obs.Trace.enabled tr ->
+        Obs.Trace.instant tr ~cat:"ioa" ~name:reason ~track:"scheduler"
+          ~ts:(float_of_int n)
+          ~args:[ ("steps", Obs.Trace.Int n) ]
+          ()
+    | _ -> ()
+  in
   let rec go t acc n =
-    if n >= max_steps then { final = t; schedule = List.rev acc; quiescent = false }
+    if n >= max_steps then begin
+      trace_stop n "step_bound";
+      { final = t; schedule = List.rev acc; quiescent = false }
+    end
     else
       match enabled t with
-      | [] -> { final = t; schedule = List.rev acc; quiescent = true }
+      | [] ->
+          trace_stop n "quiescent";
+          { final = t; schedule = List.rev acc; quiescent = true }
       | actions -> (
           let a = strategy rng actions in
+          trace_step n a (List.length actions);
           match apply t a with
           | Ok t' -> go t' (a :: acc) (n + 1)
           | Error e ->

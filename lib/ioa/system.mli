@@ -47,8 +47,12 @@ type run_result = {
 val run :
   ?max_steps:int ->
   ?strategy:strategy ->
+  ?tracer:Obs.Trace.t ->
   rng:Qc_util.Prng.t ->
   t ->
   run_result
 (** Drive to quiescence or the step bound; the result is by
-    construction a schedule of the composition. *)
+    construction a schedule of the composition.  With a [tracer],
+    every step fires an instant event (category "ioa", timestamped
+    with the step index, the rendered operation in the args), so a
+    failed check downstream can dump the exact action trail. *)

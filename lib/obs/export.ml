@@ -1,0 +1,148 @@
+(** Trace exporters.
+
+    - {!jsonl}: one JSON object per event per line — grep-able,
+      diff-able, and byte-identical across runs with the same seed
+      (the determinism regression the tests pin).
+    - {!chrome}: the Chrome [trace_event] array format, loadable in
+      [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}.
+      Tracks map to thread ids, with [thread_name] metadata so the UI
+      shows node names; one virtual time unit is rendered as 1ms. *)
+
+let json_of_arg : Trace.arg -> Json.t = function
+  | Trace.Int i -> Json.Num (float_of_int i)
+  | Trace.Float f -> Json.Num f
+  | Trace.Str s -> Json.Str s
+  | Trace.Bool b -> Json.Bool b
+
+let json_of_args args =
+  Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args)
+
+(* ---------- JSONL ---------- *)
+
+let jsonl_event (e : Trace.event) : Json.t =
+  Json.Obj
+    [
+      ("seq", Json.Num (float_of_int e.Trace.seq));
+      ("ts", Json.Num e.Trace.ts);
+      ("cat", Json.Str e.Trace.cat);
+      ("name", Json.Str e.Trace.name);
+      ("track", Json.Str e.Trace.track);
+      ("ph", Json.Str (Trace.phase_label e.Trace.ph));
+      ("id", Json.Num (float_of_int e.Trace.id));
+      ("args", json_of_args e.Trace.args);
+    ]
+
+let jsonl (t : Trace.t) : string =
+  let buf = Buffer.create 4096 in
+  Trace.iter t (fun e ->
+      Json.emit buf (jsonl_event e);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+(* ---------- Chrome trace_event ---------- *)
+
+(* Stable track -> tid assignment by order of first appearance. *)
+let track_ids (t : Trace.t) : (string, int) Hashtbl.t * string list =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Trace.iter t (fun e ->
+      if not (Hashtbl.mem tbl e.Trace.track) then begin
+        Hashtbl.add tbl e.Trace.track (Hashtbl.length tbl + 1);
+        order := e.Trace.track :: !order
+      end);
+  (tbl, List.rev !order)
+
+let chrome_event tids (e : Trace.event) : Json.t =
+  let tid = Hashtbl.find tids e.Trace.track in
+  let base =
+    [
+      ("name", Json.Str e.Trace.name);
+      ("cat", Json.Str e.Trace.cat);
+      ("ph", Json.Str (Trace.phase_label e.Trace.ph));
+      (* 1 virtual time unit -> 1ms (ts is in microseconds) *)
+      ("ts", Json.Num (e.Trace.ts *. 1000.0));
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int tid));
+    ]
+  in
+  let scope =
+    (* instants need an explicit scope; "t" = thread *)
+    if e.Trace.ph = Trace.I then [ ("s", Json.Str "t") ] else []
+  in
+  let extra =
+    (* keep the sequence number, and the span id for B/E pairing *)
+    ("seq", Trace.Int e.Trace.seq)
+    :: (if e.Trace.id <> 0 then [ ("id", Trace.Int e.Trace.id) ] else [])
+  in
+  let args = [ ("args", json_of_args (e.Trace.args @ extra)) ] in
+  Json.Obj (base @ scope @ args)
+
+let chrome (t : Trace.t) : string =
+  let tids, order = track_ids t in
+  let metadata =
+    List.map
+      (fun track ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Num 1.0);
+            ("tid", Json.Num (float_of_int (Hashtbl.find tids track)));
+            ("args", Json.Obj [ ("name", Json.Str track) ]);
+          ])
+      order
+  in
+  let events = ref [] in
+  Trace.iter t (fun e -> events := chrome_event tids e :: !events);
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (metadata @ List.rev !events));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+
+(* ---------- files ---------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_jsonl path t = write_file path (jsonl t)
+let write_chrome path t = write_file path (chrome t)
+
+(* ---------- well-formedness ---------- *)
+
+(** Check the Chrome export parses as JSON and every span-begin has a
+    matching end (and vice versa), pairing B/E by span id. *)
+let check_chrome (s : string) : (unit, string) result =
+  match Json.parse s with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok j -> (
+      match Option.bind (Json.member "traceEvents" j) Json.to_list with
+      | None -> Error "no traceEvents array"
+      | Some evs ->
+          let begins = Hashtbl.create 64 and bad = ref None in
+          List.iter
+            (fun ev ->
+              match
+                ( Option.bind (Json.member "ph" ev) Json.to_string_opt,
+                  Option.bind (Json.member "args" ev) (Json.member "id")
+                  |> Fun.flip Option.bind Json.to_float_opt )
+              with
+              | Some "B", Some id -> Hashtbl.replace begins id ()
+              | Some "E", Some id ->
+                  if Hashtbl.mem begins id then Hashtbl.remove begins id
+                  else if !bad = None then
+                    bad := Some (Printf.sprintf "E without B (span %g)" id)
+              | _ -> ())
+            evs;
+          (match !bad with
+          | Some e -> Error e
+          | None ->
+              if Hashtbl.length begins > 0 then
+                Error
+                  (Printf.sprintf "%d B events without matching E"
+                     (Hashtbl.length begins))
+              else Ok ()))

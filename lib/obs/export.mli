@@ -1,0 +1,15 @@
+(** Trace exporters: JSONL (one event per line, byte-identical across
+    same-seed runs) and Chrome [trace_event] JSON (loadable in
+    [chrome://tracing] / Perfetto). *)
+
+val jsonl_event : Trace.event -> Json.t
+val jsonl : Trace.t -> string
+
+val chrome : Trace.t -> string
+
+val write_jsonl : string -> Trace.t -> unit
+val write_chrome : string -> Trace.t -> unit
+
+val check_chrome : string -> (unit, string) result
+(** Well-formedness of a Chrome export: valid JSON, a [traceEvents]
+    array, and balanced span begin/end events (paired by span id). *)

@@ -1,0 +1,196 @@
+(** A metrics registry: named counters, gauges, and fixed-bucket
+    histograms, each optionally labelled (replica name, operation
+    kind, ...).  Requesting the same (name, labels) pair twice returns
+    the same instrument, so independently wired components share
+    counters naturally.  [dump] lists instruments in registration
+    order — deterministic output for deterministic runs. *)
+
+type labels = (string * string) list
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array;  (** upper bounds, ascending; a final +inf
+                             bucket is implicit *)
+  counts : int array;  (** length [Array.length bounds + 1] *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type key = { name : string; labels : labels }
+
+type t = {
+  tbl : (key, instrument) Hashtbl.t;
+  mutable order : key list;  (** reverse registration order *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let canonical labels = List.sort compare labels
+
+let find_or_add t ~name ~labels make classify =
+  let key = { name; labels = canonical labels } in
+  match Hashtbl.find_opt t.tbl key with
+  | Some i -> (
+      match classify i with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Fmt.str "Metrics: %s re-registered as a different instrument kind"
+               name))
+  | None ->
+      let v, i = make () in
+      Hashtbl.replace t.tbl key i;
+      t.order <- key :: t.order;
+      v
+
+let counter t ?(labels = []) name : counter =
+  find_or_add t ~name ~labels
+    (fun () ->
+      let c = { c = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t ?(labels = []) name : gauge =
+  find_or_add t ~name ~labels
+    (fun () ->
+      let g = { g = 0.0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let default_buckets = [| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0 |]
+
+let histogram t ?(labels = []) ?(buckets = default_buckets) name : histogram =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b -> if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly ascending")
+    buckets;
+  find_or_add t ~name ~labels
+    (fun () ->
+      let h =
+        {
+          bounds = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          sum = 0.0;
+          count = 0;
+        }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+(* ---------- operations ---------- *)
+
+let inc ?(by = 1) (c : counter) = c.c <- c.c + by
+let value (c : counter) = c.c
+
+let set (g : gauge) x = g.g <- x
+let gauge_value (g : gauge) = g.g
+
+let bucket_index (h : histogram) x =
+  let n = Array.length h.bounds in
+  let rec go i = if i >= n then n else if x <= h.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe (h : histogram) x =
+  h.counts.(bucket_index h x) <- h.counts.(bucket_index h x) + 1;
+  h.sum <- h.sum +. x;
+  h.count <- h.count + 1
+
+let hist_count (h : histogram) = h.count
+let hist_sum (h : histogram) = h.sum
+let hist_mean (h : histogram) =
+  if h.count = 0 then nan else h.sum /. float_of_int h.count
+
+(** (upper bound, count) pairs, the final pair with bound [infinity]. *)
+let bucket_counts (h : histogram) : (float * int) list =
+  List.init
+    (Array.length h.counts)
+    (fun i ->
+      let bound =
+        if i < Array.length h.bounds then h.bounds.(i) else infinity
+      in
+      (bound, h.counts.(i)))
+
+(** Estimate the [q]-quantile from bucket counts: the upper bound of
+    the first bucket whose cumulative count reaches [q * total] (the
+    conservative histogram-quantile estimate). *)
+let quantile (h : histogram) q =
+  if h.count = 0 then nan
+  else
+    let target =
+      int_of_float (ceil (q *. float_of_int h.count -. 1e-9)) |> max 1
+    in
+    let rec go i acc =
+      if i >= Array.length h.counts then infinity
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= target then
+          if i < Array.length h.bounds then h.bounds.(i) else infinity
+        else go (i + 1) acc
+    in
+    go 0 0
+
+(* ---------- dump ---------- *)
+
+let pp_labels ppf = function
+  | [] -> ()
+  | labels ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(list ~sep:(any ",") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+        labels
+
+let dump t : string =
+  let buf = Buffer.create 256 in
+  let ppf = Fmt.with_buffer buf in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> ()
+      | Some (Counter c) ->
+          Fmt.pf ppf "%s%a %d@." key.name pp_labels key.labels c.c
+      | Some (Gauge g) ->
+          Fmt.pf ppf "%s%a %g@." key.name pp_labels key.labels g.g
+      | Some (Histogram h) ->
+          Fmt.pf ppf "%s%a count=%d sum=%g%a@." key.name pp_labels key.labels
+            h.count h.sum
+            Fmt.(
+              list ~sep:nop (fun ppf (b, c) ->
+                  if b = infinity then Fmt.pf ppf " le_inf=%d" c
+                  else Fmt.pf ppf " le_%g=%d" b c))
+            (bucket_counts h))
+    (List.rev t.order);
+  Fmt.flush ppf ();
+  Buffer.contents buf
+
+(** Snapshot every instrument into counter-sample trace events (one
+    per counter/gauge, one per histogram count), stamped with the
+    tracer's clock. *)
+let snapshot t (tr : Trace.t) =
+  List.iter
+    (fun key ->
+      let track =
+        match List.assoc_opt "replica" key.labels with
+        | Some r -> r
+        | None -> (
+            match List.assoc_opt "client" key.labels with
+            | Some c -> c
+            | None -> "metrics")
+      in
+      match Hashtbl.find_opt t.tbl key with
+      | None -> ()
+      | Some (Counter c) ->
+          Trace.counter tr ~cat:"metrics" ~name:key.name ~track
+            ~value:(float_of_int c.c) ()
+      | Some (Gauge g) ->
+          Trace.counter tr ~cat:"metrics" ~name:key.name ~track ~value:g.g ()
+      | Some (Histogram h) ->
+          Trace.counter tr ~cat:"metrics" ~name:(key.name ^ ".count") ~track
+            ~value:(float_of_int h.count) ())
+    (List.rev t.order)

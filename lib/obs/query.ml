@@ -1,0 +1,118 @@
+(** Trace query API: reconstruct spans from begin/end event pairs,
+    filter by name / category / track / time window, and extract
+    durations — the layer tests use to assert on behaviour ("every
+    successful read span contains at least a read quorum of reply
+    events") and to feed span durations into [Sim.Stats]. *)
+
+type span = {
+  cat : string;
+  name : string;
+  track : string;
+  id : int;
+  start : float;
+  stop : float;
+  args : (string * Trace.arg) list;
+      (** begin args followed by end args *)
+}
+
+let duration s = s.stop -. s.start
+
+(** Pair up B/E events by span id, in begin order.  Unfinished spans
+    (B without E — e.g. an operation still in flight when the trace
+    was cut, or a begin lost to ring wraparound) are dropped. *)
+let spans (events : Trace.event list) : span list =
+  let open_spans : (int, Trace.event) Hashtbl.t = Hashtbl.create 64 in
+  let finished = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.ph with
+      | Trace.B -> Hashtbl.replace open_spans e.Trace.id e
+      | Trace.E -> (
+          match Hashtbl.find_opt open_spans e.Trace.id with
+          | None -> ()
+          | Some b ->
+              Hashtbl.remove open_spans e.Trace.id;
+              finished :=
+                {
+                  cat = b.Trace.cat;
+                  name = b.Trace.name;
+                  track = b.Trace.track;
+                  id = b.Trace.id;
+                  start = b.Trace.ts;
+                  stop = e.Trace.ts;
+                  args = b.Trace.args @ e.Trace.args;
+                }
+                :: !finished)
+      | Trace.I | Trace.C -> ())
+    events;
+  List.sort (fun a b -> compare a.id b.id) !finished
+
+let matches ?cat ?name ?track ~cat':c ~name':n ~track':t () =
+  (match cat with Some x -> String.equal x c | None -> true)
+  && (match name with Some x -> String.equal x n | None -> true)
+  && match track with Some x -> String.equal x t | None -> true
+
+(** Keep the spans matching every given criterion; [since]/[until]
+    select spans whose whole [start, stop] interval intersects the
+    window. *)
+let filter ?cat ?name ?track ?since ?until (ss : span list) : span list =
+  List.filter
+    (fun s ->
+      matches ?cat ?name ?track ~cat':s.cat ~name':s.name ~track':s.track ()
+      && (match since with Some t -> s.stop >= t | None -> true)
+      && match until with Some t -> s.start <= t | None -> true)
+    ss
+
+(** Keep the events matching every given criterion. *)
+let filter_events ?cat ?name ?track ?ph ?since ?until
+    (events : Trace.event list) : Trace.event list =
+  List.filter
+    (fun (e : Trace.event) ->
+      matches ?cat ?name ?track ~cat':e.Trace.cat ~name':e.Trace.name
+        ~track':e.Trace.track ()
+      && (match ph with Some p -> e.Trace.ph = p | None -> true)
+      && (match since with Some t -> e.Trace.ts >= t | None -> true)
+      && match until with Some t -> e.Trace.ts <= t | None -> true)
+    events
+
+let durations (ss : span list) : float list = List.map duration ss
+
+let find_arg (args : (string * Trace.arg) list) key = List.assoc_opt key args
+
+let arg_int args key =
+  match find_arg args key with Some (Trace.Int i) -> Some i | _ -> None
+
+let arg_str args key =
+  match find_arg args key with Some (Trace.Str s) -> Some s | _ -> None
+
+let arg_bool args key =
+  match find_arg args key with Some (Trace.Bool b) -> Some b | _ -> None
+
+(** Instants lying inside the span's [start, stop] window on the same
+    track — "what happened during this operation". *)
+let events_within (s : span) (events : Trace.event list) : Trace.event list =
+  filter_events ~track:s.track ~since:s.start ~until:s.stop events
+
+(** Balanced-span check on raw events: every E has a preceding B with
+    the same id, and no B is left unmatched.  The JSONL-level twin of
+    [Export.check_chrome]. *)
+let check_balanced (events : Trace.event list) : (unit, string) result =
+  let open_spans = Hashtbl.create 64 in
+  let bad = ref None in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.ph with
+      | Trace.B -> Hashtbl.replace open_spans e.Trace.id ()
+      | Trace.E ->
+          if Hashtbl.mem open_spans e.Trace.id then
+            Hashtbl.remove open_spans e.Trace.id
+          else if !bad = None then
+            bad := Some (Fmt.str "span end %d without begin" e.Trace.id)
+      | Trace.I | Trace.C -> ())
+    events;
+  match !bad with
+  | Some e -> Error e
+  | None ->
+      if Hashtbl.length open_spans > 0 then
+        Error (Fmt.str "%d unfinished spans" (Hashtbl.length open_spans))
+      else Ok ()

@@ -1,0 +1,40 @@
+(** Trace query API: spans from begin/end pairs, filters by
+    name/category/track/time window, durations, arg lookups, and a
+    balance check. *)
+
+type span = {
+  cat : string;
+  name : string;
+  track : string;
+  id : int;
+  start : float;
+  stop : float;
+  args : (string * Trace.arg) list;  (** begin args then end args *)
+}
+
+val duration : span -> float
+
+val spans : Trace.event list -> span list
+(** Pair B/E by span id, sorted by id (begin order).  Unfinished
+    spans are dropped. *)
+
+val filter :
+  ?cat:string -> ?name:string -> ?track:string -> ?since:float ->
+  ?until:float -> span list -> span list
+
+val filter_events :
+  ?cat:string -> ?name:string -> ?track:string -> ?ph:Trace.phase ->
+  ?since:float -> ?until:float -> Trace.event list -> Trace.event list
+
+val durations : span list -> float list
+
+val find_arg : (string * Trace.arg) list -> string -> Trace.arg option
+val arg_int : (string * Trace.arg) list -> string -> int option
+val arg_str : (string * Trace.arg) list -> string -> string option
+val arg_bool : (string * Trace.arg) list -> string -> bool option
+
+val events_within : span -> Trace.event list -> Trace.event list
+(** Instants inside the span's time window on the span's track. *)
+
+val check_balanced : Trace.event list -> (unit, string) result
+(** Every E pairs with a preceding B, no B left open. *)

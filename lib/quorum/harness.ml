@@ -25,12 +25,14 @@ let abort_damped ?(abort_rate = 0.1) (base : System.strategy) :
       if Prng.float rng < abort_rate then base rng actions
       else base rng non_aborts
 
-(** Run system B from a seed. *)
-let run_b ?(max_steps = 20_000) ?(abort_rate = 0.1) ~seed (d : Description.t)
-    : System.run_result =
+(** Run system B from a seed.  A [tracer] records the step-by-step
+    action trail (category "ioa") — the window a failed checker needs
+    into {e which} scheduler step went wrong. *)
+let run_b ?(max_steps = 20_000) ?(abort_rate = 0.1) ?tracer ~seed
+    (d : Description.t) : System.run_result =
   let rng = Prng.create seed in
   let strategy = abort_damped ~abort_rate (System.completion_biased ()) in
-  System.run ~max_steps ~strategy ~rng (System_b.build d)
+  System.run ~max_steps ~strategy ?tracer ~rng (System_b.build d)
 
 type report = {
   seed : int;
@@ -56,10 +58,10 @@ let check_all (d : Description.t) (sched : Schedule.t) :
 (** Generate a random description from [seed], run it, check
     everything.  The workhorse of the property suite. *)
 let run_and_check ?(params = Gen.default_params) ?(max_steps = 20_000)
-    ?(abort_rate = 0.1) ~seed () : (report, string) result =
+    ?(abort_rate = 0.1) ?tracer ~seed () : (report, string) result =
   let rng = Prng.create seed in
   let d = Gen.description ~params rng in
-  let run = run_b ~max_steps ~abort_rate ~seed:(seed lxor 0x5eed) d in
+  let run = run_b ~max_steps ~abort_rate ?tracer ~seed:(seed lxor 0x5eed) d in
   let* () =
     Result.map_error
       (fun e -> Fmt.str "seed %d: %s" seed e)

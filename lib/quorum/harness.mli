@@ -10,9 +10,10 @@ val abort_damped : ?abort_rate:float -> System.strategy -> System.strategy
     else is enabled. *)
 
 val run_b :
-  ?max_steps:int -> ?abort_rate:float -> seed:int -> Description.t ->
-  System.run_result
-(** Run system B from a seed. *)
+  ?max_steps:int -> ?abort_rate:float -> ?tracer:Obs.Trace.t -> seed:int ->
+  Description.t -> System.run_result
+(** Run system B from a seed.  A [tracer] records the step-by-step
+    action trail (category "ioa"). *)
 
 type report = {
   seed : int;
@@ -29,6 +30,7 @@ val run_and_check :
   ?params:Gen.params ->
   ?max_steps:int ->
   ?abort_rate:float ->
+  ?tracer:Obs.Trace.t ->
   seed:int ->
   unit ->
   (report, string) result

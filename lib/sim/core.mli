@@ -4,9 +4,18 @@
 type t
 
 val create : seed:int -> t
+(** Starts with a disabled tracer: every emission is a no-op until
+    {!attach_tracer}. *)
+
 val now : t -> float
 val rng : t -> Qc_util.Prng.t
 val executed_events : t -> int
+
+val tracer : t -> Obs.Trace.t
+(** The simulator's trace sink, shared by every layer built on it. *)
+
+val attach_tracer : t -> Obs.Trace.t -> unit
+(** Install a trace sink and wire its clock to the virtual time. *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** Run the callback at [now + delay] (clamped to now). *)

@@ -6,11 +6,24 @@
     send time, the destination is down at delivery time, the link is
     cut, or the loss coin says so — there are no delivery guarantees,
     exactly the asynchronous environment quorum consensus is built
-    for. *)
+    for.  Every drop is attributed to its reason, so nemesis
+    experiments can tell partition drops from loss drops, and every
+    send/deliver/drop is logged to the simulator's tracer. *)
 
 module Prng = Qc_util.Prng
 
 type latency = Prng.t -> src:string -> dst:string -> float
+
+(** Why a message did not arrive. *)
+type drop_reason = Sender_down | Dest_down | Link_cut | Loss
+
+let drop_reason_label = function
+  | Sender_down -> "sender_down"
+  | Dest_down -> "dest_down"
+  | Link_cut -> "link_cut"
+  | Loss -> "loss"
+
+let pp_drop_reason ppf r = Fmt.string ppf (drop_reason_label r)
 
 type 'msg t = {
   sim : Core.t;
@@ -21,7 +34,10 @@ type 'msg t = {
   cut_links : (string * string, bool) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
-  mutable dropped : int;
+  mutable drop_sender_down : int;
+  mutable drop_dest_down : int;
+  mutable drop_link_cut : int;
+  mutable drop_loss : int;
 }
 
 (** Uniform latency on [lo, hi]. *)
@@ -44,18 +60,33 @@ let create ~(sim : Core.t) ~nodes ?(latency = uniform_latency ~lo:1.0 ~hi:5.0)
       cut_links = Hashtbl.create 16;
       sent = 0;
       delivered = 0;
-      dropped = 0;
+      drop_sender_down = 0;
+      drop_dest_down = 0;
+      drop_link_cut = 0;
+      drop_loss = 0;
     }
   in
   List.iter (fun n -> Hashtbl.replace t.up n true) nodes;
   t
 
+let sim t = t.sim
+let tracer t = Core.tracer t.sim
+
 let register t ~node handler = Hashtbl.replace t.handlers node handler
 
 let is_up t node = Option.value ~default:false (Hashtbl.find_opt t.up node)
 
-let crash t node = Hashtbl.replace t.up node false
-let recover t node = Hashtbl.replace t.up node true
+let crash t node =
+  Hashtbl.replace t.up node false;
+  let tr = tracer t in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.instant tr ~cat:"net" ~name:"crash" ~track:node ()
+
+let recover t node =
+  Hashtbl.replace t.up node true;
+  let tr = tracer t in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.instant tr ~cat:"net" ~name:"recover" ~track:node ()
 
 let cut_link t a b =
   Hashtbl.replace t.cut_links (a, b) true;
@@ -67,12 +98,37 @@ let heal_link t a b =
 
 let link_cut t a b = Hashtbl.mem t.cut_links (a, b)
 
+let drop t ~src ~dst reason =
+  (match reason with
+  | Sender_down -> t.drop_sender_down <- t.drop_sender_down + 1
+  | Dest_down -> t.drop_dest_down <- t.drop_dest_down + 1
+  | Link_cut -> t.drop_link_cut <- t.drop_link_cut + 1
+  | Loss -> t.drop_loss <- t.drop_loss + 1);
+  let tr = tracer t in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.instant tr ~cat:"net" ~name:"drop" ~track:dst
+      ~args:
+        [
+          ("src", Obs.Trace.Str src);
+          ("dst", Obs.Trace.Str dst);
+          ("reason", Obs.Trace.Str (drop_reason_label reason));
+        ]
+      ()
+
 (** Send a message; it may or may not arrive. *)
 let send t ~src ~dst (msg : 'msg) =
   t.sent <- t.sent + 1;
   let rng = Core.rng t.sim in
-  if (not (is_up t src)) || link_cut t src dst || Prng.float rng < t.loss then
-    t.dropped <- t.dropped + 1
+  let tr = tracer t in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.instant tr ~cat:"net" ~name:"send" ~track:src
+      ~args:[ ("dst", Obs.Trace.Str dst) ]
+      ();
+  (* reason checks in the original short-circuit order, so the PRNG
+     draws exactly when it always did *)
+  if not (is_up t src) then drop t ~src ~dst Sender_down
+  else if link_cut t src dst then drop t ~src ~dst Link_cut
+  else if Prng.float rng < t.loss then drop t ~src ~dst Loss
   else
     let delay = t.latency rng ~src ~dst in
     Core.schedule t.sim ~delay (fun () ->
@@ -80,11 +136,44 @@ let send t ~src ~dst (msg : 'msg) =
           match Hashtbl.find_opt t.handlers dst with
           | Some h ->
               t.delivered <- t.delivered + 1;
+              if Obs.Trace.enabled tr then
+                Obs.Trace.instant tr ~cat:"net" ~name:"deliver" ~track:dst
+                  ~args:
+                    [
+                      ("src", Obs.Trace.Str src);
+                      ("latency", Obs.Trace.Float delay);
+                    ]
+                  ();
               h ~src msg
-          | None -> t.dropped <- t.dropped + 1)
-        else t.dropped <- t.dropped + 1)
+          | None -> drop t ~src ~dst Dest_down)
+        else drop t ~src ~dst Dest_down)
 
-type counters = { sent : int; delivered : int; dropped : int }
+type counters = {
+  sent : int;
+  delivered : int;
+  dropped : int;  (** total over every reason *)
+  drop_sender_down : int;
+  drop_dest_down : int;
+  drop_link_cut : int;
+  drop_loss : int;
+}
 
 let counters (t : 'msg t) =
-  { sent = t.sent; delivered = t.delivered; dropped = t.dropped }
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped =
+      t.drop_sender_down + t.drop_dest_down + t.drop_link_cut + t.drop_loss;
+    drop_sender_down = t.drop_sender_down;
+    drop_dest_down = t.drop_dest_down;
+    drop_link_cut = t.drop_link_cut;
+    drop_loss = t.drop_loss;
+  }
+
+let drop_breakdown (c : counters) =
+  [
+    (Sender_down, c.drop_sender_down);
+    (Dest_down, c.drop_dest_down);
+    (Link_cut, c.drop_link_cut);
+    (Loss, c.drop_loss);
+  ]

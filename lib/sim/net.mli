@@ -1,11 +1,17 @@
 (** A simulated message-passing network: per-message latency from a
     pluggable distribution, probabilistic loss, node crashes, link
     cuts.  No delivery guarantees — the asynchronous environment
-    quorum consensus is built for. *)
+    quorum consensus is built for.  Drops are attributed to a reason
+    and every send/deliver/drop lands in the simulator's tracer. *)
 
 module Prng = Qc_util.Prng
 
 type latency = Prng.t -> src:string -> dst:string -> float
+
+type drop_reason = Sender_down | Dest_down | Link_cut | Loss
+
+val drop_reason_label : drop_reason -> string
+val pp_drop_reason : drop_reason Fmt.t
 
 type 'msg t
 
@@ -16,6 +22,10 @@ val lognormal_latency : mu:float -> sigma:float -> latency
 val create :
   sim:Core.t -> nodes:string list -> ?latency:latency -> ?loss:float -> unit ->
   'msg t
+
+val sim : 'msg t -> Core.t
+val tracer : 'msg t -> Obs.Trace.t
+(** The simulator's tracer — for layers that only hold the network. *)
 
 val register : 'msg t -> node:string -> (src:string -> 'msg -> unit) -> unit
 (** Install the node's message handler (replaces any previous one). *)
@@ -31,6 +41,16 @@ val send : 'msg t -> src:string -> dst:string -> 'msg -> unit
 (** Dropped when the sender is down at send time, the destination is
     down at delivery time, the link is cut, or the loss coin fires. *)
 
-type counters = { sent : int; delivered : int; dropped : int }
+type counters = {
+  sent : int;
+  delivered : int;
+  dropped : int;  (** total over every reason *)
+  drop_sender_down : int;
+  drop_dest_down : int;
+  drop_link_cut : int;
+  drop_loss : int;
+}
 
 val counters : 'msg t -> counters
+
+val drop_breakdown : counters -> (drop_reason * int) list

@@ -1,47 +1,99 @@
-(** Run-time statistics: counters and latency samples with percentile
-    summaries. *)
+(** Run-time statistics: latency samples with percentile summaries.
+
+    Samples accumulate in a growable float array (no per-sample boxing
+    or list cells), sorting uses [Float.compare] (total order, correct
+    on every float), and percentiles follow the nearest-rank
+    definition: the p-th percentile of n sorted samples is the value
+    at rank [ceil (p * n)] (1-based), computed with an epsilon guard
+    so binary float noise cannot push the rank off by one. *)
 
 type summary = {
   count : int;
   mean : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
+  p999 : float;
   max : float;
 }
 
-type t = { mutable samples : float list; mutable n : int }
+type t = { mutable data : float array; mutable n : int }
 
-let create () = { samples = []; n = 0 }
+let create () = { data = Array.make 16 0.0; n = 0 }
 
 let add t x =
-  t.samples <- x :: t.samples;
+  if t.n = Array.length t.data then begin
+    let grown = Array.make (2 * t.n) 0.0 in
+    Array.blit t.data 0 grown 0 t.n;
+    t.data <- grown
+  end;
+  t.data.(t.n) <- x;
   t.n <- t.n + 1
 
 let count t = t.n
 
-let percentile sorted p =
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+(** Combine two sample sets (e.g. per-replica stats) into a fresh one;
+    the inputs are not mutated. *)
+let merge a b =
+  let t = { data = Array.make (max 16 (a.n + b.n)) 0.0; n = a.n + b.n } in
+  Array.blit a.data 0 t.data 0 a.n;
+  Array.blit b.data 0 t.data a.n b.n;
+  t
+
+(* Nearest-rank percentile of a sorted array: rank ceil(p*n), 1-based.
+   The 1e-9 slack keeps e.g. 0.29 *. 100. = 28.999999... from landing
+   on rank 29 when the exact product is 29. *)
+let percentile_sorted sorted p =
   let n = Array.length sorted in
   if n = 0 then nan
+  else if p <= 0.0 then sorted.(0)
+  else if p >= 1.0 then sorted.(n - 1)
   else
-    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
-    sorted.(max 0 (min (n - 1) idx))
+    let rank = int_of_float (ceil ((p *. float_of_int n) -. 1e-9)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let sorted_samples t =
+  let a = Array.sub t.data 0 t.n in
+  Array.sort Float.compare a;
+  a
+
+(** Nearest-rank percentile of the current samples. *)
+let percentile t p = percentile_sorted (sorted_samples t) p
 
 let summarize t : summary =
-  let a = Array.of_list t.samples in
-  Array.sort compare a;
+  let a = sorted_samples t in
   let n = Array.length a in
-  if n = 0 then { count = 0; mean = nan; p50 = nan; p90 = nan; p99 = nan; max = nan }
+  if n = 0 then
+    {
+      count = 0;
+      mean = nan;
+      p50 = nan;
+      p90 = nan;
+      p95 = nan;
+      p99 = nan;
+      p999 = nan;
+      max = nan;
+    }
   else
     {
       count = n;
       mean = Array.fold_left ( +. ) 0.0 a /. float_of_int n;
-      p50 = percentile a 0.50;
-      p90 = percentile a 0.90;
-      p99 = percentile a 0.99;
+      p50 = percentile_sorted a 0.50;
+      p90 = percentile_sorted a 0.90;
+      p95 = percentile_sorted a 0.95;
+      p99 = percentile_sorted a 0.99;
+      p999 = percentile_sorted a 0.999;
       max = a.(n - 1);
     }
 
+(* The output format predates p95/p999 and stays stable for existing
+   callers (tables.exe columns, EXPERIMENTS.md). *)
 let pp_summary ppf s =
   if s.count = 0 then Fmt.string ppf "n=0"
   else

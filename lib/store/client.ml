@@ -42,6 +42,8 @@ type pending = {
   mutable best_value : int;
   mutable replies : (int * int) list;  (** (replica index, vn) seen *)
   mutable live : bool;
+  mutable span : Obs.Trace.span option;
+      (** the operation's trace span, begun at [start_op] *)
   started : float;
   on_done : ok:bool -> vn:int -> value:int -> latency:float -> unit;
 }
@@ -61,32 +63,45 @@ type t = {
           anti-entropy riding on the read path *)
   targeting : targeting;
   rng : Prng.t;  (** quorum choice in [`Quorum] mode *)
-  mutable repairs_sent : int;
-  mutable ops_ok : int;
-  mutable ops_failed : int;
+  repairs_sent : Obs.Metrics.counter;
+  ops_ok : Obs.Metrics.counter;
+  ops_failed : Obs.Metrics.counter;
+  read_latency : Obs.Metrics.histogram;
+  write_latency : Obs.Metrics.histogram;
 }
 
+let tracer t = Core.tracer t.sim
+
 let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
-    ?(read_repair = false) ?(targeting = `Broadcast) ?(seed = 1) () =
-  let t =
-    {
-      name;
-      sim;
-      net;
-      replicas;
-      strategy;
-      next_rid = 0;
-      pending = Hashtbl.create 16;
-      timeout;
-      read_repair;
-      targeting;
-      rng = Prng.create seed;
-      repairs_sent = 0;
-      ops_ok = 0;
-      ops_failed = 0;
-    }
+    ?(read_repair = false) ?(targeting = `Broadcast) ?(seed = 1) ?metrics () =
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
-  t
+  let labels = [ ("client", name) ] in
+  {
+    name;
+    sim;
+    net;
+    replicas;
+    strategy;
+    next_rid = 0;
+    pending = Hashtbl.create 16;
+    timeout;
+    read_repair;
+    targeting;
+    rng = Prng.create seed;
+    repairs_sent = Obs.Metrics.counter metrics ~labels "store.client.repairs_sent";
+    ops_ok = Obs.Metrics.counter metrics ~labels "store.client.ops_ok";
+    ops_failed = Obs.Metrics.counter metrics ~labels "store.client.ops_failed";
+    read_latency =
+      Obs.Metrics.histogram metrics
+        ~labels:(("op", "read") :: labels)
+        "store.client.op_latency";
+    write_latency =
+      Obs.Metrics.histogram metrics
+        ~labels:(("op", "write") :: labels)
+        "store.client.op_latency";
+  }
 
 let replica_index t name =
   let rec go i =
@@ -141,7 +156,7 @@ let send_repairs t (p : pending) =
   List.iter
     (fun (i, vn) ->
       if vn < p.best_vn then begin
-        t.repairs_sent <- t.repairs_sent + 1;
+        Obs.Metrics.inc t.repairs_sent;
         let rid = fresh_rid t in
         Net.send t.net ~src:t.name ~dst:t.replicas.(i)
           (Protocol.Install_req
@@ -153,21 +168,43 @@ let finish t (p : pending) ~ok =
   if p.live then begin
     p.live <- false;
     Hashtbl.remove t.pending p.rid;
-    if ok then t.ops_ok <- t.ops_ok + 1 else t.ops_failed <- t.ops_failed + 1;
+    Obs.Metrics.inc (if ok then t.ops_ok else t.ops_failed);
+    let latency = Core.now t.sim -. p.started in
+    if ok then
+      Obs.Metrics.observe
+        (match p.phase with PRead -> t.read_latency | _ -> t.write_latency)
+        latency;
+    (match p.span with
+    | Some span ->
+        Obs.Trace.end_span (tracer t) span
+          ~args:[ ("ok", Obs.Trace.Bool ok); ("vn", Obs.Trace.Int p.best_vn) ]
+          ()
+    | None -> ());
     if ok && t.read_repair && p.phase = PRead then send_repairs t p;
-    p.on_done ~ok ~vn:p.best_vn ~value:p.best_value
-      ~latency:(Core.now t.sim -. p.started)
+    p.on_done ~ok ~vn:p.best_vn ~value:p.best_value ~latency
   end
 
 (* The timeout covers the whole operation, across phase switches. *)
 let arm_timeout t (p : pending) =
   Core.schedule t.sim ~delay:t.timeout (fun () ->
-      if p.live then finish t p ~ok:false)
+      if p.live then begin
+        let tr = tracer t in
+        if Obs.Trace.enabled tr then
+          Obs.Trace.instant tr ~cat:"store" ~name:"timeout" ~track:t.name
+            ~args:[ ("key", Obs.Trace.Str p.key); ("rid", Obs.Trace.Int p.rid) ]
+            ();
+        finish t p ~ok:false
+      end)
 
 (* Move a write from the query phase to the install phase: a new rid,
    a fresh reply mask, same pending record (latency spans both). *)
 let start_install t (p : pending) ~value =
   let rid = fresh_rid t in
+  let tr = tracer t in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.instant tr ~cat:"store" ~name:"install_phase" ~track:t.name
+      ~args:[ ("key", Obs.Trace.Str p.key); ("rid", Obs.Trace.Int rid) ]
+      ();
   p.phase <- PInstall;
   p.rid <- rid;
   p.mask <- 0;
@@ -184,6 +221,11 @@ let handle t ~src msg =
   | None -> () (* stale reply for a finished or superseded phase *)
   | Some p when not p.live -> ()
   | Some p -> (
+      let tr = tracer t in
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant tr ~cat:"store" ~name:"reply" ~track:t.name
+          ~args:[ ("rid", Obs.Trace.Int rid); ("from", Obs.Trace.Str src) ]
+          ();
       match (msg, replica_index t src) with
       | Protocol.Query_rep { vn; value; key; _ }, Some i
         when String.equal key p.key -> (
@@ -216,6 +258,21 @@ let attach t = Net.register t.net ~node:t.name (fun ~src msg -> handle t ~src ms
 
 let start_op t ~key ~phase ~on_done =
   let rid = fresh_rid t in
+  let tr = tracer t in
+  let span =
+    if Obs.Trace.enabled tr then
+      let name =
+        match phase with
+        | PRead -> "read"
+        | PWrite_query _ -> "write"
+        | PInstall -> "install"
+      in
+      Some
+        (Obs.Trace.begin_span tr ~cat:"store" ~name ~track:t.name
+           ~args:[ ("key", Obs.Trace.Str key); ("rid", Obs.Trace.Int rid) ]
+           ())
+    else None
+  in
   let p =
     {
       key;
@@ -226,6 +283,7 @@ let start_op t ~key ~phase ~on_done =
       best_value = 0;
       replies = [];
       live = true;
+      span;
       started = Core.now t.sim;
       on_done;
     }

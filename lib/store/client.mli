@@ -28,9 +28,11 @@ type t = {
           replicas they observed — anti-entropy on the read path *)
   targeting : targeting;
   rng : Qc_util.Prng.t;
-  mutable repairs_sent : int;
-  mutable ops_ok : int;
-  mutable ops_failed : int;
+  repairs_sent : Obs.Metrics.counter;
+  ops_ok : Obs.Metrics.counter;
+  ops_failed : Obs.Metrics.counter;
+  read_latency : Obs.Metrics.histogram;  (** successful-op latencies *)
+  write_latency : Obs.Metrics.histogram;
 }
 
 and pending
@@ -45,8 +47,13 @@ val create :
   ?read_repair:bool ->
   ?targeting:targeting ->
   ?seed:int ->
+  ?metrics:Obs.Metrics.t ->
   unit ->
   t
+(** [metrics] defaults to a private registry; pass a shared one to
+    aggregate a whole cluster.  Every operation is traced as a span on
+    the simulator's tracer (begin at issue, end at quorum/timeout),
+    with reply / phase-switch / timeout instants in between. *)
 
 val attach : t -> unit
 (** Install the client's reply handler on the network. *)

@@ -31,6 +31,12 @@ type params = {
           side), heal it half a period later — operations may fail but
           the audit must stay clean (quorum intersection at work) *)
   seed : int;
+  trace_capacity : int;
+      (** ring-buffer size of the run's tracer; 0 disables tracing *)
+  tracer : Obs.Trace.t option;
+      (** use this tracer instead of creating one — e.g. to collect
+          several runs, or a cluster run plus an IOA run, in one
+          trace; overrides [trace_capacity] *)
 }
 
 let default_params =
@@ -46,6 +52,8 @@ let default_params =
     targeting = `Broadcast;
     partitions = None;
     seed = 42;
+    trace_capacity = 0;
+    tracer = None;
   }
 
 type audit_entry = {
@@ -67,6 +75,11 @@ type results = {
           dimension quorum targeting tunes *)
   audit_violations : string list;
   duration : float;
+  trace : Obs.Trace.t;
+      (** the run's trace — export with [Obs.Export], query with
+          [Obs.Query]; empty unless tracing was enabled *)
+  metrics : Obs.Metrics.t;
+      (** the shared registry of every replica and client counter *)
 }
 
 let availability r =
@@ -75,13 +88,24 @@ let availability r =
 
 let run (p : params) : results =
   let sim = Core.create ~seed:p.seed in
+  let tracer =
+    match p.tracer with
+    | Some tr -> tr
+    | None ->
+        Obs.Trace.create ~capacity:p.trace_capacity
+          ~enabled:(p.trace_capacity > 0) ()
+  in
+  Core.attach_tracer sim tracer;
+  let metrics = Obs.Metrics.create () in
   let replica_names = List.init p.n_replicas (fun i -> Fmt.str "r%d" i) in
   let client_names = List.init p.n_clients (fun i -> Fmt.str "c%d" i) in
   let net =
     Net.create ~sim ~nodes:(replica_names @ client_names) ~latency:p.latency
       ~loss:p.loss ()
   in
-  let replicas = List.map (fun name -> Replica.create ~name) replica_names in
+  let replicas =
+    List.map (fun name -> Replica.create ~metrics ~name ()) replica_names
+  in
   List.iter (fun r -> Replica.attach r ~net) replicas;
   let strategy = p.strategy p.n_replicas in
   let read_lat = Sim.Stats.create () and write_lat = Sim.Stats.create () in
@@ -101,7 +125,7 @@ let run (p : params) : results =
           Client.create ~name ~sim ~net
             ~replicas:(Array.of_list replica_names)
             ~strategy ~timeout:p.timeout ~targeting:p.targeting
-            ~seed:(p.seed + ci) ()
+            ~seed:(p.seed + ci) ~metrics ()
         in
         Client.attach c;
         (ci, c))
@@ -214,9 +238,21 @@ let run (p : params) : results =
               if Prng.bool nrng then (side_a, side_b) else (side_b, side_a)
             in
             ignore client_side;
+            if Obs.Trace.enabled tracer then
+              Obs.Trace.instant tracer ~cat:"store" ~name:"nemesis.partition"
+                ~track:"nemesis"
+                ~args:
+                  [
+                    ("side_a", Obs.Trace.Str (String.concat "," side_a));
+                    ("side_b", Obs.Trace.Str (String.concat "," side_b));
+                  ]
+                ();
             cut_between side_a side_b;
             List.iter (fun c -> cut_between [ c ] other_side) client_names;
             Core.schedule sim ~delay:(mean /. 2.0) (fun () ->
+                if Obs.Trace.enabled tracer then
+                  Obs.Trace.instant tracer ~cat:"store" ~name:"nemesis.heal"
+                    ~track:"nemesis" ();
                 heal_between side_a side_b;
                 List.iter (fun c -> heal_between [ c ] other_side) client_names;
                 nemesis (cycles - 1)))
@@ -233,10 +269,9 @@ let run (p : params) : results =
     failed_writes = !failed_writes;
     net = Net.counters net;
     replica_loads =
-      List.map
-        (fun (r : Replica.t) ->
-          (r.Replica.name, r.Replica.queries + r.Replica.installs))
-        replicas;
+      List.map (fun (r : Replica.t) -> (r.Replica.name, Replica.load r)) replicas;
     audit_violations = !violations;
     duration = Core.now sim;
+    trace = tracer;
+    metrics;
   }

@@ -23,6 +23,10 @@ type params = {
           roughly every [mean] time units (clients follow one side),
           healing half a period later *)
   seed : int;
+  trace_capacity : int;  (** tracer ring size; 0 disables tracing *)
+  tracer : Obs.Trace.t option;
+      (** collect into this tracer instead of creating one (overrides
+          [trace_capacity]) *)
 }
 
 val default_params : params
@@ -39,6 +43,10 @@ type results = {
       (** queries + installs processed per replica *)
   audit_violations : string list;
   duration : float;
+  trace : Obs.Trace.t;
+      (** export with [Obs.Export], query with [Obs.Query] *)
+  metrics : Obs.Metrics.t;
+      (** shared registry of every replica and client counter *)
 }
 
 val availability : results -> float

@@ -223,7 +223,7 @@ let reconfig_experiment ?(seed = 53) () : reconfig_row list =
       ~latency:(Net.lognormal_latency ~mu:1.0 ~sigma:0.5)
       ()
   in
-  let replicas = List.map (fun name -> Replica.create ~name) replica_names in
+  let replicas = List.map (fun name -> Replica.create ~name ()) replica_names in
   List.iter (fun r -> Replica.attach r ~net) replicas;
   (* old configuration: read-one/write-all — writes reach every
      replica, so any survivor set holds the latest data *)
@@ -331,7 +331,7 @@ let read_repair_experiment ?(seed = 61) () : repair_row list =
         ~latency:(Net.lognormal_latency ~mu:1.0 ~sigma:0.5)
         ()
     in
-    let replicas = List.map (fun name -> Replica.create ~name) replica_names in
+    let replicas = List.map (fun name -> Replica.create ~name ()) replica_names in
     List.iter (fun r -> Replica.attach r ~net) replicas;
     let client =
       Client.create ~name:"c0" ~sim ~net
@@ -392,7 +392,7 @@ let read_repair_experiment ?(seed = 61) () : repair_row list =
       mode = (if read_repair then "read repair on" else "read repair off");
       staleness_mid = !mid;
       staleness_end = staleness ();
-      repairs_sent = client.Client.repairs_sent;
+      repairs_sent = Obs.Metrics.value client.Client.repairs_sent;
     }
   in
   [ run_one ~read_repair:false; run_one ~read_repair:true ]

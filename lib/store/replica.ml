@@ -3,31 +3,64 @@
     state of Section 3.1 — and answers queries and installs.  An
     install only overwrites when the incoming version number is at
     least the stored one, making retransmissions and stale
-    retries harmless. *)
+    retries harmless.
+
+    Work is counted through [Obs.Metrics] counters labelled with the
+    replica name — pass a shared registry to [create] to aggregate a
+    whole cluster in one place — and each query/install handled is
+    logged to the network's tracer. *)
 
 type t = {
   name : string;
   data : (string, int * int) Hashtbl.t;  (** key -> (vn, value) *)
-  mutable queries : int;
-  mutable installs : int;
+  queries : Obs.Metrics.counter;
+  installs : Obs.Metrics.counter;
 }
 
-let create ~name = { name; data = Hashtbl.create 64; queries = 0; installs = 0 }
+let create ?metrics ~name () =
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  let labels = [ ("replica", name) ] in
+  {
+    name;
+    data = Hashtbl.create 64;
+    queries = Obs.Metrics.counter metrics ~labels "store.replica.queries";
+    installs = Obs.Metrics.counter metrics ~labels "store.replica.installs";
+  }
 
 let lookup t key =
   Option.value ~default:(0, 0) (Hashtbl.find_opt t.data key)
 
+(** Queries + installs handled — the "load" dimension quorum targeting
+    tunes. *)
+let load t = Obs.Metrics.value t.queries + Obs.Metrics.value t.installs
+
 (** Attach the replica to the network. *)
 let attach t ~(net : Protocol.msg Sim.Net.t) =
+  let tr = Sim.Net.tracer net in
   Sim.Net.register net ~node:t.name (fun ~src msg ->
       match msg with
       | Protocol.Query_req { rid; key } ->
-          t.queries <- t.queries + 1;
+          Obs.Metrics.inc t.queries;
+          if Obs.Trace.enabled tr then
+            Obs.Trace.instant tr ~cat:"store" ~name:"query" ~track:t.name
+              ~args:[ ("key", Obs.Trace.Str key); ("rid", Obs.Trace.Int rid) ]
+              ();
           let vn, value = lookup t key in
           Sim.Net.send net ~src:t.name ~dst:src
             (Protocol.Query_rep { rid; key; vn; value })
       | Protocol.Install_req { rid; key; vn; value } ->
-          t.installs <- t.installs + 1;
+          Obs.Metrics.inc t.installs;
+          if Obs.Trace.enabled tr then
+            Obs.Trace.instant tr ~cat:"store" ~name:"install" ~track:t.name
+              ~args:
+                [
+                  ("key", Obs.Trace.Str key);
+                  ("rid", Obs.Trace.Int rid);
+                  ("vn", Obs.Trace.Int vn);
+                ]
+              ();
           let cur_vn, _ = lookup t key in
           if vn >= cur_vn then Hashtbl.replace t.data key (vn, value);
           Sim.Net.send net ~src:t.name ~dst:src

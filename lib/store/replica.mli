@@ -1,15 +1,24 @@
 (** A replica server: per key a (version-number, value) pair — the DM
     state of Section 3.1 — answering queries and installs.  Installs
     only overwrite with a version at least the stored one, so
-    retransmissions and stale retries are harmless. *)
+    retransmissions and stale retries are harmless.  Work is counted
+    through [Obs.Metrics] counters labelled with the replica name, and
+    handled messages are logged to the network's tracer. *)
 
 type t = {
   name : string;
   data : (string, int * int) Hashtbl.t;
-  mutable queries : int;
-  mutable installs : int;
+  queries : Obs.Metrics.counter;
+  installs : Obs.Metrics.counter;
 }
 
-val create : name:string -> t
+val create : ?metrics:Obs.Metrics.t -> name:string -> unit -> t
+(** [metrics] defaults to a private registry; pass a shared one to
+    aggregate a whole cluster. *)
+
 val lookup : t -> string -> int * int
+
+val load : t -> int
+(** Queries + installs handled. *)
+
 val attach : t -> net:Protocol.msg Sim.Net.t -> unit

@@ -1,0 +1,330 @@
+(* Tests for the observability layer: trace core, exporters, metrics,
+   query API, and the wiring through sim / net / store / ioa. *)
+
+module Trace = Obs.Trace
+module Export = Obs.Export
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Query = Obs.Query
+
+(* ---------- trace core ---------- *)
+
+let test_ring_bounds () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 7 do
+    Trace.instant tr ~cat:"t" ~name:"e" ~ts:(float_of_int i) ()
+  done;
+  Alcotest.(check int) "bounded" 4 (Trace.length tr);
+  Alcotest.(check int) "overwritten" 3 (Trace.overwritten tr);
+  let seqs = List.map (fun (e : Trace.event) -> e.Trace.seq) (Trace.events tr) in
+  Alcotest.(check (list int)) "newest kept, in order" [ 3; 4; 5; 6 ] seqs
+
+let test_disabled_tracer_free () =
+  let tr = Trace.create ~capacity:16 ~enabled:false () in
+  Trace.instant tr ~cat:"t" ~name:"e" ();
+  let s = Trace.begin_span tr ~cat:"t" ~name:"s" () in
+  Trace.end_span tr s ();
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length tr);
+  (* a zero-capacity tracer cannot even be enabled *)
+  let z = Trace.create ~capacity:0 () in
+  Trace.set_enabled z true;
+  Trace.instant z ~cat:"t" ~name:"e" ();
+  Alcotest.(check int) "capacity 0 stays off" 0 (Trace.length z)
+
+let test_span_pairing () =
+  let tr = Trace.create () in
+  let a = Trace.begin_span tr ~cat:"c" ~name:"outer" ~ts:1.0 () in
+  let b = Trace.begin_span tr ~cat:"c" ~name:"inner" ~ts:2.0 () in
+  Trace.end_span tr b ~ts:3.0 ();
+  Trace.end_span tr a ~ts:5.0 ();
+  Trace.instant tr ~cat:"c" ~name:"mark" ~ts:2.5 ();
+  let spans = Query.spans (Trace.events tr) in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let outer = List.find (fun (s : Query.span) -> s.Query.name = "outer") spans in
+  let inner = List.find (fun (s : Query.span) -> s.Query.name = "inner") spans in
+  Alcotest.(check (float 1e-9)) "outer duration" 4.0 (Query.duration outer);
+  Alcotest.(check (float 1e-9)) "inner duration" 1.0 (Query.duration inner);
+  Alcotest.(check bool) "balanced" true
+    (Result.is_ok (Query.check_balanced (Trace.events tr)))
+
+let test_unbalanced_detected () =
+  let tr = Trace.create () in
+  let _open_span = Trace.begin_span tr ~cat:"c" ~name:"s" () in
+  Alcotest.(check bool) "unfinished span flagged" true
+    (Result.is_error (Query.check_balanced (Trace.events tr)))
+
+(* ---------- json ---------- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Num 1.5);
+        ("b", Json.Str "x\"y\n");
+        ("c", Json.List [ Json.Bool true; Json.Null; Json.Num 42.0 ]);
+        ("d", Json.Obj []);
+      ]
+  in
+  match Json.parse (Json.to_string j) with
+  | Error e -> Alcotest.fail e
+  | Ok j' ->
+      Alcotest.(check bool) "roundtrip" true (j = j');
+      Alcotest.(check (option string)) "member" (Some "x\"y\n")
+        (Option.bind (Json.member "b" j') Json.to_string_opt)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Fmt.str "rejects %S" s)
+        true
+        (Result.is_error (Json.parse s)))
+    [ "{"; "[1,"; "{\"a\":}"; "tru"; "{\"a\":1}x"; "\"unterminated" ]
+
+(* ---------- metrics ---------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~labels:[ ("replica", "r0") ] "ops" in
+  Metrics.inc c;
+  Metrics.inc ~by:3 c;
+  Alcotest.(check int) "counter" 4 (Metrics.value c);
+  (* same (name, labels) -> same instrument, any label order *)
+  let c' = Metrics.counter m ~labels:[ ("replica", "r0") ] "ops" in
+  Metrics.inc c';
+  Alcotest.(check int) "shared" 5 (Metrics.value c);
+  let other = Metrics.counter m ~labels:[ ("replica", "r1") ] "ops" in
+  Alcotest.(check int) "distinct labels distinct" 0 (Metrics.value other);
+  let g = Metrics.gauge m "depth" in
+  Metrics.set g 7.5;
+  Alcotest.(check (float 0.0)) "gauge" 7.5 (Metrics.gauge_value g)
+
+let test_histogram_buckets () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[| 1.0; 2.0; 5.0 |] "lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 4.9; 5.0; 100.0 ];
+  let got = Metrics.bucket_counts h in
+  Alcotest.(check (list int)) "bucket counts" [ 2; 2; 2; 1 ]
+    (List.map snd got);
+  Alcotest.(check (list string)) "bucket bounds"
+    [ "1."; "2."; "5."; "inf" ]
+    (List.map (fun (b, _) -> string_of_float b) got);
+  Alcotest.(check int) "count" 7 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 114.9 (Metrics.hist_sum h);
+  (* conservative bucket quantiles: upper bound of the covering bucket *)
+  Alcotest.(check (float 0.0)) "q50" 2.0 (Metrics.quantile h 0.5);
+  Alcotest.(check bool) "q99 lands in the +inf bucket" true
+    (Metrics.quantile h 0.99 = infinity);
+  Alcotest.(check (float 0.0)) "q25" 1.0 (Metrics.quantile h 0.25)
+
+(* ---------- cluster wiring: determinism, balance, layers ---------- *)
+
+let traced_params seed =
+  {
+    Store.Cluster.default_params with
+    n_replicas = 5;
+    n_clients = 3;
+    workload = { Store.Workload.default_spec with ops_per_client = 15 };
+    seed;
+    trace_capacity = 262144;
+  }
+
+let test_trace_deterministic () =
+  let dump () =
+    Export.jsonl (Store.Cluster.run (traced_params 42)).Store.Cluster.trace
+  in
+  let a = dump () and b = dump () in
+  Alcotest.(check bool) "non-trivial" true (String.length a > 1000);
+  Alcotest.(check bool) "byte-identical JSONL" true (String.equal a b)
+
+let test_chrome_wellformed () =
+  let r = Store.Cluster.run (traced_params 43) in
+  let chrome = Export.chrome r.Store.Cluster.trace in
+  (match Export.check_chrome chrome with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* sim, net and store all emit *)
+  let events = Trace.events r.Store.Cluster.trace in
+  List.iter
+    (fun cat ->
+      Alcotest.(check bool)
+        (Fmt.str "%s layer emits" cat)
+        true
+        (Query.filter_events ~cat events <> []))
+    [ "sim"; "net"; "store" ]
+
+let test_spans_match_stats () =
+  (* the trace query API agrees with the cluster's own Sim.Stats: the
+     number of successful read spans equals the read count, and their
+     mean duration the read-latency mean *)
+  let r = Store.Cluster.run (traced_params 44) in
+  let events = Trace.events r.Store.Cluster.trace in
+  let ok_spans name =
+    List.filter
+      (fun (s : Query.span) -> Query.arg_bool s.Query.args "ok" = Some true)
+      (Query.filter ~cat:"store" ~name (Query.spans events))
+  in
+  let reads = ok_spans "read" in
+  Alcotest.(check int) "ok read spans = ok_reads" r.Store.Cluster.ok_reads
+    (List.length reads);
+  let summary = Sim.Stats.summarize (Sim.Stats.of_list (Query.durations reads)) in
+  Alcotest.(check (float 1e-6))
+    "span means = stats means" r.Store.Cluster.reads.Sim.Stats.mean
+    summary.Sim.Stats.mean;
+  Alcotest.(check (float 1e-6))
+    "span p99 = stats p99" r.Store.Cluster.reads.Sim.Stats.p99
+    summary.Sim.Stats.p99
+
+let test_read_spans_contain_quorum_replies () =
+  (* every successful read span contains >= a read quorum (3 of 5
+     under majority) of reply instants for its request id *)
+  let r = Store.Cluster.run (traced_params 45) in
+  let events = Trace.events r.Store.Cluster.trace in
+  let reads =
+    List.filter
+      (fun (s : Query.span) -> Query.arg_bool s.Query.args "ok" = Some true)
+      (Query.filter ~cat:"store" ~name:"read" (Query.spans events))
+  in
+  Alcotest.(check bool) "some successful reads" true (reads <> []);
+  List.iter
+    (fun (s : Query.span) ->
+      let rid = Option.get (Query.arg_int s.Query.args "rid") in
+      let replies =
+        List.filter
+          (fun (e : Trace.event) ->
+            Query.arg_int e.Trace.args "rid" = Some rid)
+          (Query.filter_events ~cat:"store" ~name:"reply"
+             (Query.events_within s events))
+      in
+      if List.length replies < 3 then
+        Alcotest.failf "read span rid=%d saw only %d replies" rid
+          (List.length replies))
+    reads
+
+let test_nemesis_drops_attributed () =
+  (* with a partition nemesis and no loss, drops are link_cut /
+     sender_down / dest_down, never loss — and the partition instants
+     are in the trace *)
+  let r =
+    Store.Cluster.run
+      { (traced_params 46) with partitions = Some 40.0; loss = 0.0 }
+  in
+  let c = r.Store.Cluster.net in
+  Alcotest.(check int) "no loss drops" 0 c.Sim.Net.drop_loss;
+  Alcotest.(check bool) "some link-cut drops" true (c.Sim.Net.drop_link_cut > 0);
+  Alcotest.(check int) "total = sum of reasons" c.Sim.Net.dropped
+    (c.Sim.Net.drop_sender_down + c.Sim.Net.drop_dest_down
+   + c.Sim.Net.drop_link_cut + c.Sim.Net.drop_loss);
+  let events = Trace.events r.Store.Cluster.trace in
+  Alcotest.(check bool) "partition instants traced" true
+    (Query.filter_events ~cat:"store" ~name:"nemesis.partition" events <> [])
+
+let test_cluster_metrics_registry () =
+  let r = Store.Cluster.run (traced_params 47) in
+  let m = r.Store.Cluster.metrics in
+  let total_ok =
+    List.fold_left
+      (fun acc ci ->
+        acc
+        + Metrics.value
+            (Metrics.counter m
+               ~labels:[ ("client", Fmt.str "c%d" ci) ]
+               "store.client.ops_ok"))
+      0 [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "registry ops_ok = results ok count"
+    (r.Store.Cluster.ok_reads + r.Store.Cluster.ok_writes)
+    total_ok
+
+(* ---------- ioa wiring ---------- *)
+
+let test_ioa_action_trail () =
+  let tracer = Trace.create ~capacity:65536 () in
+  match Quorum.Harness.run_and_check ~max_steps:500 ~tracer ~seed:11 () with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+      let steps =
+        Query.filter_events ~cat:"ioa" ~name:"step" (Trace.events tracer)
+      in
+      Alcotest.(check int) "one instant per scheduler step"
+        report.Quorum.Harness.steps (List.length steps);
+      (* the trail carries the rendered actions, in order *)
+      List.iteri
+        (fun i (e : Trace.event) ->
+          Alcotest.(check (option int)) "step index" (Some i)
+            (Query.arg_int e.Trace.args "i");
+          if Query.arg_str e.Trace.args "action" = None then
+            Alcotest.fail "step without action arg")
+        steps
+
+(* ---------- qcheck: query durations agree with Sim.Stats ---------- *)
+
+let prop_span_durations_match_stats =
+  QCheck.Test.make ~count:100
+    ~name:"trace query span durations agree with Sim.Stats"
+    QCheck.(small_list (pair (float_bound_exclusive 1000.0) (float_bound_exclusive 50.0)))
+    (fun ops ->
+      let tr = Trace.create () in
+      List.iter
+        (fun (start, dur) ->
+          let s = Trace.begin_span tr ~cat:"t" ~name:"op" ~ts:start () in
+          Trace.end_span tr s ~ts:(start +. dur) ())
+        ops;
+      let durations =
+        Query.durations (Query.spans (Trace.events tr))
+      in
+      let expected = List.map snd ops in
+      let s1 = Sim.Stats.summarize (Sim.Stats.of_list durations) in
+      let s2 = Sim.Stats.summarize (Sim.Stats.of_list expected) in
+      (* span endpoints round-trip through [start +. dur -. start], so
+         compare with an ulp-scale tolerance *)
+      let close a b = Float.abs (a -. b) < 1e-6 in
+      s1.Sim.Stats.count = s2.Sim.Stats.count
+      && (s1.Sim.Stats.count = 0
+         || close s1.Sim.Stats.mean s2.Sim.Stats.mean
+            && close s1.Sim.Stats.p50 s2.Sim.Stats.p50
+            && close s1.Sim.Stats.p999 s2.Sim.Stats.p999
+            && close s1.Sim.Stats.max s2.Sim.Stats.max))
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "obs.trace",
+      [
+        Alcotest.test_case "ring buffer bounds" `Quick test_ring_bounds;
+        Alcotest.test_case "disabled tracer records nothing" `Quick
+          test_disabled_tracer_free;
+        Alcotest.test_case "span pairing and durations" `Quick test_span_pairing;
+        Alcotest.test_case "unbalanced spans detected" `Quick
+          test_unbalanced_detected;
+      ] );
+    ( "obs.json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counters and gauges" `Quick test_metrics_counters;
+        Alcotest.test_case "histogram bucket math" `Quick test_histogram_buckets;
+      ] );
+    ( "obs.cluster",
+      [
+        Alcotest.test_case "same seed, byte-identical JSONL" `Quick
+          test_trace_deterministic;
+        Alcotest.test_case "chrome export well-formed" `Quick
+          test_chrome_wellformed;
+        Alcotest.test_case "span durations = Sim.Stats" `Quick
+          test_spans_match_stats;
+        Alcotest.test_case "read spans contain quorum replies" `Quick
+          test_read_spans_contain_quorum_replies;
+        Alcotest.test_case "nemesis drops attributed" `Quick
+          test_nemesis_drops_attributed;
+        Alcotest.test_case "metrics registry totals" `Quick
+          test_cluster_metrics_registry;
+      ] );
+    ( "obs.ioa",
+      [ Alcotest.test_case "action trail" `Quick test_ioa_action_trail ] );
+    ("obs.props", [ qcheck prop_span_durations_match_stats ]);
+  ]

@@ -190,6 +190,95 @@ let test_stats_empty () =
   let sum = Sim.Stats.summarize (Sim.Stats.create ()) in
   Alcotest.(check int) "count 0" 0 sum.Sim.Stats.count
 
+(* Pinned nearest-rank values: rank = ceil(p * n), 1-based.  These pin
+   the percentile definition so it cannot silently drift. *)
+let test_stats_nearest_rank () =
+  let pct xs p = Sim.Stats.percentile (Sim.Stats.of_list xs) p in
+  let check name expected got =
+    Alcotest.(check (float 0.0)) name expected got
+  in
+  (* n = 1: every percentile is the only sample *)
+  check "n=1 p50" 7.0 (pct [ 7.0 ] 0.50);
+  check "n=1 p999" 7.0 (pct [ 7.0 ] 0.999);
+  (* n = 2: p50 -> rank ceil(1.0) = 1; p90 -> rank ceil(1.8) = 2 *)
+  check "n=2 p50" 1.0 (pct [ 2.0; 1.0 ] 0.50);
+  check "n=2 p90" 2.0 (pct [ 2.0; 1.0 ] 0.90);
+  (* n = 10 over 1..10 *)
+  let ten = List.init 10 (fun i -> float_of_int (i + 1)) in
+  check "n=10 p50" 5.0 (pct ten 0.50);
+  check "n=10 p90" 9.0 (pct ten 0.90);
+  check "n=10 p95" 10.0 (pct ten 0.95);
+  check "n=10 p999" 10.0 (pct ten 0.999);
+  (* n = 100 over 1..100 *)
+  let hundred = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check "n=100 p50" 50.0 (pct hundred 0.50);
+  check "n=100 p95" 95.0 (pct hundred 0.95);
+  check "n=100 p99" 99.0 (pct hundred 0.99);
+  check "n=100 p999" 100.0 (pct hundred 0.999);
+  (* out-of-range p clamps to the extremes *)
+  check "p=0 is min" 1.0 (pct hundred 0.0);
+  check "p=1 is max" 100.0 (pct hundred 1.0)
+
+let test_stats_p95_p999_summary () =
+  let s = Sim.Stats.create () in
+  for i = 1 to 1000 do
+    Sim.Stats.add s (float_of_int i)
+  done;
+  let sum = Sim.Stats.summarize s in
+  Alcotest.(check (float 0.0)) "p95" 950.0 sum.Sim.Stats.p95;
+  Alcotest.(check (float 0.0)) "p999" 999.0 sum.Sim.Stats.p999
+
+let test_stats_merge () =
+  let a = Sim.Stats.of_list [ 1.0; 3.0; 5.0 ] in
+  let b = Sim.Stats.of_list [ 2.0; 4.0 ] in
+  let m = Sim.Stats.summarize (Sim.Stats.merge a b) in
+  Alcotest.(check int) "merged count" 5 m.Sim.Stats.count;
+  Alcotest.(check (float 1e-9)) "merged mean" 3.0 m.Sim.Stats.mean;
+  Alcotest.(check (float 0.0)) "merged p50" 3.0 m.Sim.Stats.p50;
+  Alcotest.(check (float 0.0)) "merged max" 5.0 m.Sim.Stats.max;
+  (* inputs are untouched *)
+  Alcotest.(check int) "a unchanged" 3
+    (Sim.Stats.summarize a).Sim.Stats.count;
+  Alcotest.(check int) "b unchanged" 2
+    (Sim.Stats.summarize b).Sim.Stats.count
+
+(* ---------- drop-reason accounting ---------- *)
+
+let test_drop_reasons () =
+  let sim, net = mk_net () in
+  Sim.Net.register net ~node:"b" (fun ~src:_ _ -> ());
+  (* sender down *)
+  Sim.Net.crash net "a";
+  Sim.Net.send net ~src:"a" ~dst:"b" 0;
+  Sim.Net.recover net "a";
+  (* link cut *)
+  Sim.Net.cut_link net "a" "b";
+  Sim.Net.send net ~src:"a" ~dst:"b" 0;
+  Sim.Net.heal_link net "a" "b";
+  (* dest down at delivery time *)
+  Sim.Net.crash net "b";
+  Sim.Net.send net ~src:"a" ~dst:"b" 0;
+  Sim.Core.run sim;
+  let c = Sim.Net.counters net in
+  Alcotest.(check int) "sent" 3 c.Sim.Net.sent;
+  Alcotest.(check int) "delivered" 0 c.Sim.Net.delivered;
+  Alcotest.(check int) "sender_down" 1 c.Sim.Net.drop_sender_down;
+  Alcotest.(check int) "link_cut" 1 c.Sim.Net.drop_link_cut;
+  Alcotest.(check int) "dest_down" 1 c.Sim.Net.drop_dest_down;
+  Alcotest.(check int) "loss" 0 c.Sim.Net.drop_loss;
+  Alcotest.(check int) "total is the sum" c.Sim.Net.dropped
+    (c.Sim.Net.drop_sender_down + c.Sim.Net.drop_dest_down
+   + c.Sim.Net.drop_link_cut + c.Sim.Net.drop_loss)
+
+let test_drop_loss_counted () =
+  let sim, net = mk_net ~loss:1.0 () in
+  Sim.Net.register net ~node:"b" (fun ~src:_ _ -> ());
+  Sim.Net.send net ~src:"a" ~dst:"b" 0;
+  Sim.Core.run sim;
+  let c = Sim.Net.counters net in
+  Alcotest.(check int) "loss drop" 1 c.Sim.Net.drop_loss;
+  Alcotest.(check int) "total" 1 c.Sim.Net.dropped
+
 let qcheck t = QCheck_alcotest.to_alcotest t
 
 let suites =
@@ -214,6 +303,8 @@ let suites =
         Alcotest.test_case "link cut and heal" `Quick test_net_link_cut;
         Alcotest.test_case "loss rate" `Quick test_net_loss_rate;
         Alcotest.test_case "determinism" `Quick test_sim_determinism;
+        Alcotest.test_case "drop reasons attributed" `Quick test_drop_reasons;
+        Alcotest.test_case "loss drops counted" `Quick test_drop_loss_counted;
       ] );
     ( "sim.failure",
       [ Alcotest.test_case "availability matches spec" `Quick test_failure_availability ]
@@ -222,5 +313,10 @@ let suites =
       [
         Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
         Alcotest.test_case "empty summary" `Quick test_stats_empty;
+        Alcotest.test_case "nearest-rank pinned values" `Quick
+          test_stats_nearest_rank;
+        Alcotest.test_case "p95/p999 in summary" `Quick
+          test_stats_p95_p999_summary;
+        Alcotest.test_case "merge" `Quick test_stats_merge;
       ] );
   ]

@@ -229,7 +229,7 @@ let test_total_outage () =
   let net =
     Sim.Net.create ~sim ~nodes:(replica_names @ [ "c0" ]) ()
   in
-  let replicas = List.map (fun name -> Store.Replica.create ~name) replica_names in
+  let replicas = List.map (fun name -> Store.Replica.create ~name ()) replica_names in
   List.iter (fun r -> Store.Replica.attach r ~net) replicas;
   List.iter (fun r -> Sim.Net.crash net r) replica_names;
   let client =
@@ -251,7 +251,7 @@ let test_install_primitive () =
   let sim = Sim.Core.create ~seed:4 in
   let replica_names = List.init 3 (fun i -> Fmt.str "r%d" i) in
   let net = Sim.Net.create ~sim ~nodes:(replica_names @ [ "c0" ]) () in
-  let replicas = List.map (fun name -> Store.Replica.create ~name) replica_names in
+  let replicas = List.map (fun name -> Store.Replica.create ~name ()) replica_names in
   List.iter (fun r -> Store.Replica.attach r ~net) replicas;
   let client =
     Store.Client.create ~name:"c0" ~sim ~net
@@ -273,7 +273,7 @@ let test_install_primitive () =
 
 (* stale installs (lower version) must not clobber newer data *)
 let test_stale_install_ignored () =
-  let r = Store.Replica.create ~name:"r" in
+  let r = Store.Replica.create ~name:"r" () in
   Hashtbl.replace r.Store.Replica.data "k" (5, 50);
   (* simulate a direct stale install via the protocol handler: use a
      small net *)
@@ -292,7 +292,7 @@ let test_read_repair_fixes_stale () =
   let sim = Sim.Core.create ~seed:8 in
   let replica_names = List.init 3 (fun i -> Fmt.str "r%d" i) in
   let net = Sim.Net.create ~sim ~nodes:(replica_names @ [ "c0" ]) () in
-  let replicas = List.map (fun name -> Store.Replica.create ~name) replica_names in
+  let replicas = List.map (fun name -> Store.Replica.create ~name ()) replica_names in
   List.iter (fun r -> Store.Replica.attach r ~net) replicas;
   (* r2 is stale by hand *)
   let r0 = List.nth replicas 0 and r2 = List.nth replicas 2 in
@@ -315,7 +315,8 @@ let test_read_repair_fixes_stale () =
       Alcotest.(check int) "newest version" 5 vn;
       Alcotest.(check int) "newest value" 50 value);
   Sim.Core.run sim;
-  Alcotest.(check int) "repair sent" 1 client.Store.Client.repairs_sent;
+  Alcotest.(check int) "repair sent" 1
+    (Obs.Metrics.value client.Store.Client.repairs_sent);
   Alcotest.(check (pair int int)) "stale replica repaired" (5, 50)
     (Store.Replica.lookup r2 "k")
 
