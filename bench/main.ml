@@ -236,47 +236,87 @@ let t_vp_view_change =
         in
         fun () -> Vp.Manager.merge_states states))
 
-let tests =
-  Test.make_grouped ~name:"quorum_nested"
-    [
-      t_f1_build_system_b;
-      t_f2_build_system_a;
-      t_e5_wellformed;
-      t_e7_e8_invariants;
-      t_e10_simulation;
-      t_e12_recon_invariants;
-      t_e12_recon_simulation;
-      t_scheduler_step;
-      t_run_system_b;
-      t_run_recon;
-      t_ablate_config_lists;
-      t_ablate_config_bitmask;
-      t_config_legal;
-      t_availability_analytic;
-      t_cc_2pl;
-      t_cc_mvto;
-      t_cc_nocc;
-      t_locks_cycle;
-      t_mvto_cycle;
-      t_sim_events;
-      t_store_ops;
-      t_exhaustive;
-      t_adt_merge;
-      t_adt_replay;
-      t_vp_view_change;
-    ]
+(* ablation: the RPC engine's retry+hedge policy vs fire-once, same
+   lossy cluster — what robustness costs on the hot path *)
+let lossy_cluster_params policy =
+  {
+    Store.Cluster.default_params with
+    targeting = `Quorum;
+    policy;
+    loss = 0.2;
+    workload = { Store.Workload.default_spec with ops_per_client = 25 };
+    seed = fixture_seed;
+  }
+
+let t_rpc_fire_once =
+  Test.make ~name:"ablation: lossy cluster, fire-once RPC"
+    (Staged.stage (fun () ->
+         Store.Cluster.run (lossy_cluster_params Rpc.Policy.default)))
+
+let t_rpc_retry_hedge =
+  Test.make ~name:"ablation: lossy cluster, retry+hedge RPC"
+    (Staged.stage (fun () ->
+         Store.Cluster.run
+           (lossy_cluster_params
+              (Rpc.Policy.with_hedge ~base:(Rpc.Policy.with_retries 2) 12.0))))
+
+let all_tests =
+  [
+    t_f1_build_system_b;
+    t_f2_build_system_a;
+    t_e5_wellformed;
+    t_e7_e8_invariants;
+    t_e10_simulation;
+    t_e12_recon_invariants;
+    t_e12_recon_simulation;
+    t_scheduler_step;
+    t_run_system_b;
+    t_run_recon;
+    t_ablate_config_lists;
+    t_ablate_config_bitmask;
+    t_config_legal;
+    t_availability_analytic;
+    t_cc_2pl;
+    t_cc_mvto;
+    t_cc_nocc;
+    t_locks_cycle;
+    t_mvto_cycle;
+    t_sim_events;
+    t_store_ops;
+    t_exhaustive;
+    t_adt_merge;
+    t_adt_replay;
+    t_vp_view_change;
+    t_rpc_fire_once;
+    t_rpc_retry_hedge;
+  ]
+
+let test_name t = Test.Elt.name (List.hd (Test.elements t))
+
+let select only =
+  match only with
+  | None -> all_tests
+  | Some sub ->
+      let has_sub name =
+        let n = String.length name and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub name i m = sub || go (i + 1)) in
+        go 0
+      in
+      List.filter (fun t -> has_sub (test_name t)) all_tests
 
 (* ---------- runner ---------- *)
 
-let benchmark () =
+let benchmark ~quota tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
   in
-  let raw = Benchmark.all cfg instances tests in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"quorum_nested" tests)
+  in
   let results =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
@@ -305,23 +345,63 @@ let dump_trace_if_asked () =
            path
        with Sys_error e -> Fmt.epr "OBS_TRACE: cannot write trace: %s@." e)
 
+let run_benchmarks only quota list_only =
+  let tests = select only in
+  if list_only then begin
+    List.iter (fun t -> Fmt.pr "%s@." (test_name t)) tests;
+    0
+  end
+  else if tests = [] then begin
+    Fmt.epr "no benchmark matches %s@." (Option.value ~default:"" only);
+    1
+  end
+  else begin
+    dump_trace_if_asked ();
+    let results = benchmark ~quota tests in
+    Fmt.pr "%-55s %18s@." "benchmark" "ns/run";
+    Fmt.pr "%s@." (String.make 74 '-');
+    let clock = Measure.label Instance.monotonic_clock in
+    (match Hashtbl.find_opt results clock with
+    | None -> Fmt.pr "no results@."
+    | Some tbl ->
+        let rows =
+          Hashtbl.fold
+            (fun name ols acc ->
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> (name, est) :: acc
+              | Some _ | None -> (name, nan) :: acc)
+            tbl []
+        in
+        List.iter
+          (fun (name, est) -> Fmt.pr "%-55s %18.1f@." name est)
+          (List.sort compare rows));
+    0
+  end
+
+open Cmdliner
+
+let only =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"SUBSTRING"
+        ~doc:"Run only the benchmarks whose name contains $(docv).")
+
+let quota =
+  Arg.(
+    value & opt float 0.5
+    & info [ "quota" ] ~docv:"SECONDS"
+        ~doc:"Measurement time budget per benchmark.")
+
+let list_only =
+  Arg.(
+    value & flag
+    & info [ "list" ] ~doc:"List the selected benchmark names and exit.")
+
 let () =
-  dump_trace_if_asked ();
-  let results = benchmark () in
-  Fmt.pr "%-55s %18s@." "benchmark" "ns/run";
-  Fmt.pr "%s@." (String.make 74 '-');
-  let clock = Measure.label Instance.monotonic_clock in
-  match Hashtbl.find_opt results clock with
-  | None -> Fmt.pr "no results@."
-  | Some tbl ->
-      let rows =
-        Hashtbl.fold
-          (fun name ols acc ->
-            match Analyze.OLS.estimates ols with
-            | Some [ est ] -> (name, est) :: acc
-            | Some _ | None -> (name, nan) :: acc)
-          tbl []
-      in
-      List.iter
-        (fun (name, est) -> Fmt.pr "%-55s %18.1f@." name est)
-        (List.sort compare rows)
+  let doc = "Micro-benchmarks for the quorum_nested experiment index" in
+  exit
+    (Cmd.eval'
+       (Cmd.v
+          (Cmd.info "bench" ~doc)
+          Term.(const run_benchmarks $ only $ quota $ list_only)))

@@ -9,6 +9,11 @@
      cut A B            cut the link between two nodes
      heal A B
      dump               print every replica's stored state
+     policy             show the RPC retry/hedge policy
+     policy retries N   N bounded retries per request (0 disables)
+     policy hedge D     hedge to the remaining replicas after D time units
+     policy off         back to fire-once (the default)
+     loss P             set the network's message-loss probability
      stats              ops / network counters
      metrics            dump the metrics registry
      trace FILE         write the session's Chrome trace (Perfetto)
@@ -74,7 +79,8 @@ let () =
         | [ "help" ] ->
             Fmt.pr
               "put KEY INT | get KEY | crash NODE | recover NODE | cut A B | \
-               heal A B | dump | stats | metrics | trace FILE | quit@.";
+               heal A B | dump | policy [retries N | hedge D | off] | loss P | \
+               stats | metrics | trace FILE | quit@.";
             loop ()
         | [ "put"; key; v ] ->
             (match int_of_string_opt v with
@@ -125,6 +131,43 @@ let () =
                   (if Net.is_up net r.Store.Replica.name then "up  " else "DOWN")
                   (String.concat " " (List.sort compare state)))
               replicas;
+            loop ()
+        | "policy" :: rest ->
+            (* validate before applying: bad values get an error line,
+               never an exception *)
+            let apply p =
+              match Rpc.Policy.validate p with
+              | Ok () ->
+                  Store.Client.set_policy client p;
+                  Fmt.pr "policy: %a@." Rpc.Policy.pp p
+              | Error e -> Fmt.pr "invalid policy: %s@." e
+            in
+            (match rest with
+            | [] -> Fmt.pr "policy: %a@." Rpc.Policy.pp (Store.Client.policy client)
+            | [ "off" ] -> apply Rpc.Policy.default
+            | [ "retries"; n ] -> (
+                match int_of_string_opt n with
+                | None -> Fmt.pr "invalid policy: retries takes an integer@."
+                | Some n ->
+                    apply
+                      { (Store.Client.policy client) with
+                        Rpc.Policy.max_attempts = n + 1 })
+            | [ "hedge"; d ] -> (
+                match float_of_string_opt d with
+                | None -> Fmt.pr "invalid policy: hedge takes a number@."
+                | Some d ->
+                    apply
+                      { (Store.Client.policy client) with
+                        Rpc.Policy.hedge_delay = Some d })
+            | _ ->
+                Fmt.pr "usage: policy [retries N | hedge D | off]@.");
+            loop ()
+        | [ "loss"; p ] ->
+            (match float_of_string_opt p with
+            | Some p when p >= 0.0 && p < 1.0 ->
+                Net.set_loss net p;
+                Fmt.pr "loss: %g@." p
+            | _ -> Fmt.pr "loss must be a number in [0, 1)@.");
             loop ()
         | [ "metrics" ] ->
             Fmt.pr "%s%!" (Obs.Metrics.dump metrics);

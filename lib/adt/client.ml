@@ -16,11 +16,14 @@
 
     Consistency rests on the usual intersection: an observer's initial
     quorum meets every completed mutator's final quorum, so the merged
-    log contains every completed operation. *)
+    log contains every completed operation.  Request mechanics (rids,
+    pending table, deadline, retries, hedging) come from
+    {!Rpc.Engine}. *)
 
 module Core = Sim.Core
 module Net = Sim.Net
 module Strategy = Store.Strategy
+module Engine = Rpc.Engine
 
 (* Which rounds does an operation need?  [Set] is a mutator that needs
    the initial round anyway: last-writer-wins requires its timestamp
@@ -33,13 +36,11 @@ type phase = Initial | Final
 type pending = {
   key : string;
   op : Spec.op;
-  mutable rid : int;
   mutable phase : phase;
   mutable mask : int;
   mutable merged : Replica.entry list;
   mutable result : Spec.result;
-  mutable live : bool;
-  started : float;
+  eop : Engine.op;
   on_done : ok:bool -> result:Spec.result -> latency:float -> unit;
 }
 
@@ -47,26 +48,28 @@ type t = {
   name : string;
   sim : Core.t;
   net : Replica.msg Net.t;
+  eng : Replica.msg Engine.t;
   replicas : string array;
   strategy : Strategy.t;
   clock : Timestamp.clock;
-  mutable next_rid : int;
-  pending : (int, pending) Hashtbl.t;
   timeout : float;
 }
 
-let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0) () =
+let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0) ?policy () =
   {
     name;
     sim;
     net;
+    eng =
+      Engine.create ~name ~sim ~net ~rid_of:Replica.rid ?policy ~cat:"adt" ();
     replicas;
     strategy;
     clock = Timestamp.clock ~id:name;
-    next_rid = 0;
-    pending = Hashtbl.create 16;
     timeout;
   }
+
+let set_policy t p = Engine.set_policy t.eng p
+let policy t = Engine.policy t.eng
 
 let replica_index t name =
   let rec go i =
@@ -76,26 +79,37 @@ let replica_index t name =
   in
   go 0
 
-let fresh_rid t =
-  let rid = t.next_rid in
-  t.next_rid <- rid + 1;
-  rid
-
-let broadcast t msg_of_rid ~rid =
-  Array.iter
-    (fun r -> Net.send t.net ~src:t.name ~dst:r (msg_of_rid rid))
-    t.replicas
-
 let finish t (p : pending) ~ok =
-  if p.live then begin
-    p.live <- false;
-    Hashtbl.remove t.pending p.rid;
-    p.on_done ~ok ~result:p.result ~latency:(Core.now t.sim -. p.started)
+  if Engine.op_live p.eop then begin
+    Engine.finish_op t.eng p.eop;
+    p.on_done ~ok ~result:p.result
+      ~latency:(Core.now t.sim -. Engine.op_started p.eop)
   end
 
-let arm_timeout t (p : pending) =
-  Core.schedule t.sim ~delay:t.timeout (fun () ->
-      if p.live then finish t p ~ok:false)
+let gather t (p : pending) ~quorum_ok ~make ~on_quorum =
+  ignore
+    (Engine.call t.eng ~op:p.eop ~targets:(Array.to_list t.replicas) ~make
+       ~on_reply:(fun ~src msg ->
+         match (msg, replica_index t src) with
+         | Replica.Entries { key; entries; _ }, Some i
+           when String.equal key p.key && p.phase = Initial ->
+             p.mask <- p.mask lor (1 lsl i);
+             p.merged <- Replica.merge p.merged entries;
+             if quorum_ok p.mask then begin
+               on_quorum ();
+               Engine.Done
+             end
+             else Engine.Continue
+         | Replica.Ack { key; _ }, Some i
+           when String.equal key p.key && p.phase = Final ->
+             p.mask <- p.mask lor (1 lsl i);
+             if quorum_ok p.mask then begin
+               on_quorum ();
+               Engine.Done
+             end
+             else Engine.Continue
+         | _ -> Engine.Continue)
+       ())
 
 (* Compute the result and, for mutators, start the final round. *)
 let compute_and_finalize t (p : pending) =
@@ -105,64 +119,43 @@ let compute_and_finalize t (p : pending) =
   p.result <- result;
   if Spec.mutates p.op then begin
     let entry = { Replica.ts = Timestamp.fresh t.clock; op = p.op } in
-    let rid = fresh_rid t in
     p.phase <- Final;
-    p.rid <- rid;
     p.mask <- 0;
     p.merged <- Replica.merge p.merged [ entry ];
-    Hashtbl.replace t.pending rid p;
     let entries = p.merged in
-    broadcast t ~rid (fun rid -> Replica.Push { rid; key = p.key; entries })
+    gather t p ~quorum_ok:t.strategy.Strategy.write_ok
+      ~make:(fun rid -> Replica.Push { rid; key = p.key; entries })
+      ~on_quorum:(fun () -> finish t p ~ok:true)
   end
   else finish t p ~ok:true
 
-let handle t ~src msg =
-  let rid = Replica.rid msg in
-  match Hashtbl.find_opt t.pending rid with
-  | None -> ()
-  | Some p when not p.live -> ()
-  | Some p -> (
-      match (msg, replica_index t src) with
-      | Replica.Entries { key; entries; _ }, Some i
-        when String.equal key p.key && p.phase = Initial ->
-          p.mask <- p.mask lor (1 lsl i);
-          p.merged <- Replica.merge p.merged entries;
-          if t.strategy.Strategy.read_ok p.mask then begin
-            Hashtbl.remove t.pending rid;
-            compute_and_finalize t p
-          end
-      | Replica.Ack { key; _ }, Some i
-        when String.equal key p.key && p.phase = Final ->
-          p.mask <- p.mask lor (1 lsl i);
-          if t.strategy.Strategy.write_ok p.mask then finish t p ~ok:true
-      | _ -> ())
-
-let attach t = Net.register t.net ~node:t.name (fun ~src msg -> handle t ~src msg)
+let attach t = Engine.attach t.eng
 
 (** Execute [op] on [key]; [on_done] receives success, the
     operation's result (meaningful for observers), and the latency. *)
 let execute t ~key ~(op : Spec.op) ~on_done =
+  let p_ref = ref None in
+  let eop =
+    Engine.start_op t.eng ~timeout:t.timeout ~on_timeout:(fun () ->
+        match !p_ref with None -> () | Some p -> finish t p ~ok:false)
+  in
   let p =
     {
       key;
       op;
-      rid = 0;
       phase = Initial;
       mask = 0;
       merged = [];
       result = Spec.Unit;
-      live = true;
-      started = Core.now t.sim;
+      eop;
       on_done;
     }
   in
-  arm_timeout t p;
-  if needs_initial op then begin
-    let rid = fresh_rid t in
-    p.rid <- rid;
-    Hashtbl.replace t.pending rid p;
-    broadcast t ~rid (fun rid -> Replica.Pull { rid; key })
-  end
+  p_ref := Some p;
+  if needs_initial op then
+    gather t p ~quorum_ok:t.strategy.Strategy.read_ok
+      ~make:(fun rid -> Replica.Pull { rid; key })
+      ~on_quorum:(fun () -> compute_and_finalize t p)
   else
     (* blind mutator: no initial round at all *)
     compute_and_finalize t p

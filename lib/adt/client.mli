@@ -2,7 +2,8 @@
     (merge logs from a read quorum — skipped entirely by blind
     mutators such as counter increments), sequential replay to compute
     the result, and for mutators a final round pushing the appended
-    log to a write quorum. *)
+    log to a write quorum.  Runs on {!Rpc.Engine} for request
+    mechanics, retries and hedging. *)
 
 val needs_initial : Spec.op -> bool
 
@@ -15,8 +16,15 @@ val create :
   replicas:string array ->
   strategy:Store.Strategy.t ->
   ?timeout:float ->
+  ?policy:Rpc.Policy.t ->
   unit ->
   t
+
+val set_policy : t -> Rpc.Policy.t -> unit
+(** Swap the retry/hedge policy for operations issued after the call.
+    @raise Invalid_argument on an invalid policy. *)
+
+val policy : t -> Rpc.Policy.t
 
 val attach : t -> unit
 

@@ -1,0 +1,269 @@
+(** The shared replication RPC engine — see the interface for the
+    contract.  The hot path (default policy) is deliberately identical
+    to the historical hand-rolled clients: one pending-table insert,
+    one deadline timer armed at [start_op], one send wave in target
+    order, one "reply" instant per dispatched reply.  Retry, backoff
+    and hedge timers only ever get scheduled when the policy asks for
+    them, so enabling the engine does not move a single PRNG draw or
+    heap entry in existing seeded runs. *)
+
+module Core = Sim.Core
+module Net = Sim.Net
+module Prng = Qc_util.Prng
+
+type verdict = Continue | Done
+
+type op = {
+  mutable o_live : bool;
+  o_started : float;
+  mutable o_calls : packed_call list;
+}
+
+and packed_call = Call : 'msg call -> packed_call
+
+and 'msg call = {
+  rid : int;
+  c_op : op;
+  targets : string array;
+  heard : bool array;  (** per-target: a reply arrived (skip on resend) *)
+  mutable sent_upto : int;  (** targets.[0 .. sent_upto-1] have been sent *)
+  mutable attempt : int;  (** 1-based *)
+  mutable closed : bool;
+  make : int -> 'msg;
+  on_reply : src:string -> 'msg -> verdict;
+  on_exhausted : unit -> unit;
+  mutable span : Obs.Trace.span option;  (** current attempt span *)
+  pol : Policy.t;  (** policy captured at call start *)
+}
+
+type 'msg t = {
+  name : string;
+  sim : Core.t;
+  net : 'msg Net.t;
+  rid_of : 'msg -> int;
+  mutable policy : Policy.t;
+  cat : string;
+  rng : Prng.t;
+      (** jitter only — never the simulator's PRNG, so retry schedules
+          cannot perturb loss/latency draws elsewhere *)
+  mutable next_rid : int;
+  pending : (int, 'msg call) Hashtbl.t;
+  m_retries : Obs.Metrics.counter;
+  m_hedges : Obs.Metrics.counter;
+  m_exhausted : Obs.Metrics.counter;
+  m_op_timeouts : Obs.Metrics.counter;
+}
+
+let check_policy p =
+  match Policy.validate p with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Fmt.str "Rpc.Engine: invalid policy: %s" e)
+
+let create ~name ~sim ~net ~rid_of ?(policy = Policy.default) ?(cat = "rpc")
+    ?(seed = 1) ?metrics () =
+  check_policy policy;
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  let labels = [ ("client", name) ] in
+  {
+    name;
+    sim;
+    net;
+    rid_of;
+    policy;
+    cat;
+    rng = Prng.create seed;
+    next_rid = 0;
+    pending = Hashtbl.create 16;
+    m_retries = Obs.Metrics.counter metrics ~labels "rpc.retries";
+    m_hedges = Obs.Metrics.counter metrics ~labels "rpc.hedges";
+    m_exhausted = Obs.Metrics.counter metrics ~labels "rpc.exhausted";
+    m_op_timeouts = Obs.Metrics.counter metrics ~labels "rpc.op_timeouts";
+  }
+
+let name t = t.name
+let policy t = t.policy
+
+let set_policy t p =
+  check_policy p;
+  t.policy <- p
+
+let fresh_rid t =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  rid
+
+let pending_count t = Hashtbl.length t.pending
+let tracer t = Core.tracer t.sim
+
+(* Attempt spans exist to see retries and hedges; a fire-once call
+   emits nothing, keeping default-policy traces byte-identical. *)
+let instrumented (c : 'msg call) =
+  c.pol.Policy.max_attempts > 1 || c.pol.Policy.hedge_delay <> None
+
+let begin_attempt_span t (c : 'msg call) =
+  let tr = tracer t in
+  if instrumented c && Obs.Trace.enabled tr then
+    c.span <-
+      Some
+        (Obs.Trace.begin_span tr ~cat:t.cat ~name:"attempt" ~track:t.name
+           ~args:
+             [ ("rid", Obs.Trace.Int c.rid); ("attempt", Obs.Trace.Int c.attempt) ]
+           ())
+
+let end_attempt_span t (c : 'msg call) ~outcome =
+  match c.span with
+  | None -> ()
+  | Some span ->
+      c.span <- None;
+      Obs.Trace.end_span (tracer t) span
+        ~args:[ ("outcome", Obs.Trace.Str outcome) ]
+        ()
+
+let close_call t (c : 'msg call) ~outcome =
+  if not c.closed then begin
+    c.closed <- true;
+    Hashtbl.remove t.pending c.rid;
+    end_attempt_span t c ~outcome
+  end
+
+(* ---------- operations ---------- *)
+
+let start_op t ~timeout ~on_timeout =
+  let op = { o_live = true; o_started = Core.now t.sim; o_calls = [] } in
+  Core.schedule t.sim ~delay:timeout (fun () ->
+      if op.o_live then begin
+        Obs.Metrics.inc t.m_op_timeouts;
+        on_timeout ()
+      end);
+  op
+
+let op_live op = op.o_live
+let op_started op = op.o_started
+
+let finish_op t op =
+  if op.o_live then begin
+    op.o_live <- false;
+    List.iter
+      (fun (Call c) -> close_call t c ~outcome:"abandoned")
+      op.o_calls;
+    op.o_calls <- []
+  end
+
+(* ---------- calls ---------- *)
+
+let call_live (c : 'msg call) = (not c.closed) && c.c_op.o_live
+
+let send_range t (c : 'msg call) lo hi =
+  for i = lo to hi - 1 do
+    if not c.heard.(i) then
+      Net.send t.net ~src:t.name ~dst:c.targets.(i) (c.make c.rid)
+  done
+
+let rec arm_attempt_timer t (c : 'msg call) =
+  if c.pol.Policy.max_attempts > 1 then
+    Core.schedule t.sim ~delay:c.pol.Policy.attempt_timeout (fun () ->
+        if call_live c then
+          if c.attempt >= c.pol.Policy.max_attempts then begin
+            end_attempt_span t c ~outcome:"exhausted";
+            Obs.Metrics.inc t.m_exhausted;
+            c.on_exhausted ()
+          end
+          else begin
+            end_attempt_span t c ~outcome:"timeout";
+            let next = c.attempt + 1 in
+            let delay =
+              Policy.retry_delay c.pol ~attempt:next ~u:(Prng.float t.rng)
+            in
+            Core.schedule t.sim ~delay (fun () ->
+                if call_live c then begin
+                  c.attempt <- next;
+                  Obs.Metrics.inc t.m_retries;
+                  begin_attempt_span t c;
+                  send_range t c 0 c.sent_upto;
+                  arm_attempt_timer t c
+                end)
+          end)
+
+let arm_hedge_timer t (c : 'msg call) =
+  match c.pol.Policy.hedge_delay with
+  | Some d when c.sent_upto < Array.length c.targets ->
+      Core.schedule t.sim ~delay:d (fun () ->
+          if call_live c && c.sent_upto < Array.length c.targets then begin
+            Obs.Metrics.inc t.m_hedges;
+            let tr = tracer t in
+            if Obs.Trace.enabled tr then
+              Obs.Trace.instant tr ~cat:t.cat ~name:"hedge" ~track:t.name
+                ~args:
+                  [
+                    ("rid", Obs.Trace.Int c.rid);
+                    ( "extra",
+                      Obs.Trace.Int (Array.length c.targets - c.sent_upto) );
+                  ]
+                ();
+            let lo = c.sent_upto in
+            c.sent_upto <- Array.length c.targets;
+            send_range t c lo c.sent_upto
+          end)
+  | _ -> ()
+
+let call t ~op ?rid ~targets ?fanout ~make ~on_reply
+    ?(on_exhausted = fun () -> ()) () =
+  let rid = match rid with Some r -> r | None -> fresh_rid t in
+  let targets = Array.of_list targets in
+  let n = Array.length targets in
+  let fanout = match fanout with Some f -> max 1 (min f n) | None -> n in
+  let c =
+    {
+      rid;
+      c_op = op;
+      targets;
+      heard = Array.make n false;
+      sent_upto = fanout;
+      attempt = 1;
+      closed = false;
+      make;
+      on_reply;
+      on_exhausted;
+      span = None;
+      pol = t.policy;
+    }
+  in
+  Hashtbl.replace t.pending rid c;
+  op.o_calls <- Call c :: op.o_calls;
+  begin_attempt_span t c;
+  send_range t c 0 fanout;
+  arm_attempt_timer t c;
+  arm_hedge_timer t c;
+  rid
+
+(* ---------- reply dispatch ---------- *)
+
+let target_index (c : 'msg call) src =
+  let rec go i =
+    if i >= Array.length c.targets then None
+    else if String.equal c.targets.(i) src then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let handle t ~src msg =
+  match Hashtbl.find_opt t.pending (t.rid_of msg) with
+  | None -> () (* stale reply for a finished or superseded call *)
+  | Some c when not (call_live c) -> ()
+  | Some c -> (
+      let tr = tracer t in
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant tr ~cat:t.cat ~name:"reply" ~track:t.name
+          ~args:[ ("rid", Obs.Trace.Int c.rid); ("from", Obs.Trace.Str src) ]
+          ();
+      (match target_index c src with
+      | Some i -> c.heard.(i) <- true
+      | None -> ());
+      match c.on_reply ~src msg with
+      | Continue -> ()
+      | Done -> close_call t c ~outcome:"done")
+
+let attach t =
+  Net.register t.net ~node:t.name (fun ~src msg -> handle t ~src msg)

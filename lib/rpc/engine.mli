@@ -1,0 +1,125 @@
+(** The shared replication RPC engine.
+
+    All three replicated-store clients (read-write quorums, virtual
+    partitions, ADT event logs) run the same loop from the paper's
+    Section 3.1 TM algorithm: allocate a request id, send a wave of
+    messages, accumulate replies until a quorum predicate is
+    satisfied, fail on a deadline.  The engine owns that loop once —
+    rid allocation, the pending table, reply dispatch, the operation
+    deadline — and adds the robustness machinery the hand-rolled
+    clients never had: per-attempt timeouts with bounded retry,
+    exponential backoff with deterministic jitter, and hedged requests
+    (late fan-out beyond the initial wave).
+
+    {2 Determinism rules}
+
+    - Under {!Policy.default} the engine schedules exactly one timer
+      per operation (the deadline) and sends exactly one wave per
+      call, in target order — byte-identical to the historical
+      clients for any seed.
+    - Jitter draws come from the engine's {e own} PRNG (seeded at
+      creation), never from the simulator's: enabling retries on one
+      client cannot perturb message-loss or latency draws elsewhere,
+      and runs stay reproducible from the seed.
+
+    {2 Hygiene invariant}
+
+    Every completed or timed-out operation removes all of its pending
+    entries and closes its open attempt spans: after the simulator
+    drains, [pending_count] is [0].  Tests assert this. *)
+
+type verdict =
+  | Continue  (** keep gathering replies *)
+  | Done  (** the accumulated reply set satisfies the predicate *)
+
+type 'msg t
+
+type op
+(** An operation context: one user-visible operation (which may span
+    several calls — e.g. a write's version query then install), under
+    a single overall deadline. *)
+
+val create :
+  name:string ->
+  sim:Sim.Core.t ->
+  net:'msg Sim.Net.t ->
+  rid_of:('msg -> int) ->
+  ?policy:Policy.t ->
+  ?cat:string ->
+  ?seed:int ->
+  ?metrics:Obs.Metrics.t ->
+  unit ->
+  'msg t
+(** An engine for node [name] on [net].  [rid_of] projects the request
+    id out of a reply so the engine can dispatch it.  [cat] is the
+    trace category for the engine's events (default ["rpc"]; the store
+    client passes ["store"] so its traces keep their historical
+    shape).  [seed] seeds the jitter PRNG.  [metrics] defaults to a
+    private registry.
+    @raise Invalid_argument if [policy] fails {!Policy.validate}. *)
+
+val attach : 'msg t -> unit
+(** Register the engine's reply dispatcher as [name]'s net handler. *)
+
+val name : 'msg t -> string
+val policy : 'msg t -> Policy.t
+
+val set_policy : 'msg t -> Policy.t -> unit
+(** Applies to calls started after the change.
+    @raise Invalid_argument if the policy fails {!Policy.validate}. *)
+
+val fresh_rid : 'msg t -> int
+(** Allocate a request id.  Exposed for fire-and-forget sends (e.g.
+    read repair) and for callers that need the rid before {!call}
+    (trace span arguments); pass it back via [?rid]. *)
+
+val pending_count : 'msg t -> int
+(** Outstanding calls in the pending table; [0] at quiescence. *)
+
+val start_op : 'msg t -> timeout:float -> on_timeout:(unit -> unit) -> op
+(** Begin an operation and arm its overall deadline: after [timeout]
+    time units, if the operation is still live, [on_timeout] runs (it
+    should fail the operation and call {!finish_op}). *)
+
+val op_live : op -> bool
+val op_started : op -> float
+
+val finish_op : 'msg t -> op -> unit
+(** Mark the operation dead and drop its outstanding calls from the
+    pending table, closing their attempt spans.  Idempotent; late
+    replies and timers for the operation become no-ops. *)
+
+val call :
+  'msg t ->
+  op:op ->
+  ?rid:int ->
+  targets:string list ->
+  ?fanout:int ->
+  make:(int -> 'msg) ->
+  on_reply:(src:string -> 'msg -> verdict) ->
+  ?on_exhausted:(unit -> unit) ->
+  unit ->
+  int
+(** The quorum-gather combinator.  Sends [make rid] to the first
+    [fanout] of [targets] (default: all — broadcast), then accumulates
+    replies: each reply to this rid is handed to [on_reply], and the
+    call completes when it returns [Done].  Returns the rid.
+
+    Under the engine's policy:
+    - if [max_attempts > 1], an unfinished attempt times out after
+      [attempt_timeout] and is retried — the wave is retransmitted to
+      the targets not yet heard from, after an exponentially growing,
+      jittered backoff delay; when attempts are exhausted,
+      [on_exhausted] runs (default: keep waiting for the operation
+      deadline);
+    - if [hedge_delay] is [Some d], after [d] time units without
+      completion the request fans out to the remaining targets beyond
+      [fanout] — broadcast and targeted-quorum routing are the two
+      extremes ([fanout = |targets|] hedges nothing; [fanout] = one
+      minimal quorum with a small [d] approaches broadcast latency at
+      quorum message cost).
+
+    Replies are matched per target, so duplicate replies (e.g. to a
+    retransmission) reach [on_reply] but retransmissions skip targets
+    already heard from.  [on_reply] may start further calls or finish
+    the operation. *)

@@ -73,6 +73,7 @@ let sim t = t.sim
 let tracer t = Core.tracer t.sim
 
 let register t ~node handler = Hashtbl.replace t.handlers node handler
+let set_loss t p = t.loss <- p
 
 let is_up t node = Option.value ~default:false (Hashtbl.find_opt t.up node)
 

@@ -30,6 +30,9 @@ val tracer : 'msg t -> Obs.Trace.t
 val register : 'msg t -> node:string -> (src:string -> 'msg -> unit) -> unit
 (** Install the node's message handler (replaces any previous one). *)
 
+val set_loss : 'msg t -> float -> unit
+(** Change the loss probability mid-run (e.g. a lossy episode). *)
+
 val is_up : 'msg t -> string -> bool
 val crash : 'msg t -> string -> unit
 val recover : 'msg t -> string -> unit

@@ -7,15 +7,18 @@
       learn the current version number), then installs
       [(vn + 1, value)] until a write quorum has acknowledged.
 
-    Requests go to all replicas and complete on the {e fastest} quorum
-    of replies, so operation latency is the order statistic the
-    strategy's minimum quorum size dictates.  An operation that cannot
-    assemble a quorum before the timeout fails — the availability
-    metric of the experiments. *)
+    The request mechanics — rid allocation, the pending table, reply
+    dispatch, the operation deadline, retries, backoff, hedging — live
+    in {!Rpc.Engine}; this module supplies only the quorum protocol:
+    what to send, which reply sets constitute a quorum, and what to do
+    at a phase switch.  An operation that cannot assemble a quorum
+    before the timeout fails — the availability metric of the
+    experiments. *)
 
 module Core = Sim.Core
 module Net = Sim.Net
 module Prng = Qc_util.Prng
+module Engine = Rpc.Engine
 
 (** How requests are routed:
     - [`Broadcast]: message every replica, complete on the fastest
@@ -25,7 +28,9 @@ module Prng = Qc_util.Prng
       for all of it — n/|q| fewer messages and tunable load (grid
       quorums spread it), at the cost of tail latency (slowest member
       of the chosen quorum) and availability (no fallback when a
-      chosen member is down). *)
+      chosen member is down).  Under a hedging policy the unchosen
+      replicas become the hedge pool, recovering broadcast's
+      availability at near-quorum message cost. *)
 type targeting = [ `Broadcast | `Quorum ]
 
 type phase =
@@ -41,10 +46,9 @@ type pending = {
   mutable best_vn : int;
   mutable best_value : int;
   mutable replies : (int * int) list;  (** (replica index, vn) seen *)
-  mutable live : bool;
+  op : Engine.op;  (** engine operation: liveness + overall deadline *)
   mutable span : Obs.Trace.span option;
       (** the operation's trace span, begun at [start_op] *)
-  started : float;
   on_done : ok:bool -> vn:int -> value:int -> latency:float -> unit;
 }
 
@@ -52,10 +56,9 @@ type t = {
   name : string;
   sim : Core.t;
   net : Protocol.msg Net.t;
+  eng : Protocol.msg Engine.t;
   replicas : string array;
   mutable strategy : Strategy.t;
-  mutable next_rid : int;
-  pending : (int, pending) Hashtbl.t;
   timeout : float;
   read_repair : bool;
       (** when a read observes stale replicas among the replies, push
@@ -73,35 +76,53 @@ type t = {
 let tracer t = Core.tracer t.sim
 
 let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
-    ?(read_repair = false) ?(targeting = `Broadcast) ?(seed = 1) ?metrics () =
+    ?(read_repair = false) ?(targeting = `Broadcast) ?policy ?(seed = 1)
+    ?metrics () =
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
   let labels = [ ("client", name) ] in
+  let repairs_sent =
+    Obs.Metrics.counter metrics ~labels "store.client.repairs_sent"
+  in
+  let ops_ok = Obs.Metrics.counter metrics ~labels "store.client.ops_ok" in
+  let ops_failed =
+    Obs.Metrics.counter metrics ~labels "store.client.ops_failed"
+  in
+  let read_latency =
+    Obs.Metrics.histogram metrics
+      ~labels:(("op", "read") :: labels)
+      "store.client.op_latency"
+  in
+  let write_latency =
+    Obs.Metrics.histogram metrics
+      ~labels:(("op", "write") :: labels)
+      "store.client.op_latency"
+  in
+  let eng =
+    Engine.create ~name ~sim ~net ~rid_of:Protocol.rid ?policy ~cat:"store"
+      ~seed ~metrics ()
+  in
   {
     name;
     sim;
     net;
+    eng;
     replicas;
     strategy;
-    next_rid = 0;
-    pending = Hashtbl.create 16;
     timeout;
     read_repair;
     targeting;
     rng = Prng.create seed;
-    repairs_sent = Obs.Metrics.counter metrics ~labels "store.client.repairs_sent";
-    ops_ok = Obs.Metrics.counter metrics ~labels "store.client.ops_ok";
-    ops_failed = Obs.Metrics.counter metrics ~labels "store.client.ops_failed";
-    read_latency =
-      Obs.Metrics.histogram metrics
-        ~labels:(("op", "read") :: labels)
-        "store.client.op_latency";
-    write_latency =
-      Obs.Metrics.histogram metrics
-        ~labels:(("op", "write") :: labels)
-        "store.client.op_latency";
+    repairs_sent;
+    ops_ok;
+    ops_failed;
+    read_latency;
+    write_latency;
   }
+
+let set_policy t p = Engine.set_policy t.eng p
+let policy t = Engine.policy t.eng
 
 let replica_index t name =
   let rec go i =
@@ -111,21 +132,12 @@ let replica_index t name =
   in
   go 0
 
-let fresh_rid t =
-  let rid = t.next_rid in
-  t.next_rid <- rid + 1;
-  rid
-
-let broadcast t ~rid msg_of_replica =
-  Array.iter
-    (fun r -> Net.send t.net ~src:t.name ~dst:r (msg_of_replica rid))
-    t.replicas
-
-(* Route a request per the targeting mode: everyone, or the members of
-   one randomly chosen minimal quorum of the given side. *)
-let route t ~rid ~side msg_of_replica =
+(* Route per the targeting mode: all replicas (hedge pool empty), or
+   the members of one randomly chosen minimal quorum first with the
+   rest as the engine's hedge pool. *)
+let targets_for t ~side =
   match t.targeting with
-  | `Broadcast -> broadcast t ~rid msg_of_replica
+  | `Broadcast -> (Array.to_list t.replicas, None)
   | `Quorum ->
       let masks =
         match side with
@@ -143,11 +155,14 @@ let route t ~rid ~side msg_of_replica =
         List.filter (fun q -> Strategy.popcount q = min_card) masks
       in
       let mask = Prng.choose t.rng smallest in
+      let members = ref [] and others = ref [] in
       Array.iteri
         (fun i r ->
-          if mask land (1 lsl i) <> 0 then
-            Net.send t.net ~src:t.name ~dst:r (msg_of_replica rid))
-        t.replicas
+          if mask land (1 lsl i) <> 0 then members := r :: !members
+          else others := r :: !others)
+        t.replicas;
+      let members = List.rev !members in
+      (members @ List.rev !others, Some (List.length members))
 
 (* Push the newest (version, value) to the stale replicas a read saw.
    Fire-and-forget: repairs carry a fresh rid no pending entry ever
@@ -157,7 +172,7 @@ let send_repairs t (p : pending) =
     (fun (i, vn) ->
       if vn < p.best_vn then begin
         Obs.Metrics.inc t.repairs_sent;
-        let rid = fresh_rid t in
+        let rid = Engine.fresh_rid t.eng in
         Net.send t.net ~src:t.name ~dst:t.replicas.(i)
           (Protocol.Install_req
              { rid; key = p.key; vn = p.best_vn; value = p.best_value })
@@ -165,11 +180,10 @@ let send_repairs t (p : pending) =
     p.replies
 
 let finish t (p : pending) ~ok =
-  if p.live then begin
-    p.live <- false;
-    Hashtbl.remove t.pending p.rid;
+  if Engine.op_live p.op then begin
+    Engine.finish_op t.eng p.op;
     Obs.Metrics.inc (if ok then t.ops_ok else t.ops_failed);
-    let latency = Core.now t.sim -. p.started in
+    let latency = Core.now t.sim -. Engine.op_started p.op in
     if ok then
       Obs.Metrics.observe
         (match p.phase with PRead -> t.read_latency | _ -> t.write_latency)
@@ -184,22 +198,52 @@ let finish t (p : pending) ~ok =
     p.on_done ~ok ~vn:p.best_vn ~value:p.best_value ~latency
   end
 
-(* The timeout covers the whole operation, across phase switches. *)
-let arm_timeout t (p : pending) =
-  Core.schedule t.sim ~delay:t.timeout (fun () ->
-      if p.live then begin
-        let tr = tracer t in
-        if Obs.Trace.enabled tr then
-          Obs.Trace.instant tr ~cat:"store" ~name:"timeout" ~track:t.name
-            ~args:[ ("key", Obs.Trace.Str p.key); ("rid", Obs.Trace.Int p.rid) ]
-            ();
-        finish t p ~ok:false
-      end)
+(* The quorum protocol itself: accumulate replies into the replica
+   mask, complete phases when the strategy says the mask is a quorum,
+   and switch a write from query to install under a fresh rid. *)
+let rec on_reply t (p : pending) ~src msg =
+  match (msg, replica_index t src) with
+  | Protocol.Query_rep { vn; value; key; _ }, Some i
+    when String.equal key p.key -> (
+      let bit = 1 lsl i in
+      if p.mask land bit = 0 then begin
+        p.mask <- p.mask lor bit;
+        p.replies <- (i, vn) :: p.replies
+      end;
+      if vn > p.best_vn then begin
+        p.best_vn <- vn;
+        p.best_value <- value
+      end;
+      match p.phase with
+      | PRead ->
+          if t.strategy.Strategy.read_ok p.mask then begin
+            finish t p ~ok:true;
+            Engine.Done
+          end
+          else Engine.Continue
+      | PWrite_query value ->
+          if t.strategy.Strategy.read_ok p.mask then begin
+            start_install t p ~value;
+            Engine.Done
+          end
+          else Engine.Continue
+      | PInstall -> Engine.Continue)
+  | Protocol.Install_ack { key; _ }, Some i when String.equal key p.key -> (
+      match p.phase with
+      | PInstall ->
+          p.mask <- p.mask lor (1 lsl i);
+          if t.strategy.Strategy.write_ok p.mask then begin
+            finish t p ~ok:true;
+            Engine.Done
+          end
+          else Engine.Continue
+      | PRead | PWrite_query _ -> Engine.Continue)
+  | _ -> Engine.Continue
 
 (* Move a write from the query phase to the install phase: a new rid,
    a fresh reply mask, same pending record (latency spans both). *)
-let start_install t (p : pending) ~value =
-  let rid = fresh_rid t in
+and start_install t (p : pending) ~value =
+  let rid = Engine.fresh_rid t.eng in
   let tr = tracer t in
   if Obs.Trace.enabled tr then
     Obs.Trace.instant tr ~cat:"store" ~name:"install_phase" ~track:t.name
@@ -211,53 +255,21 @@ let start_install t (p : pending) ~value =
   let vn = p.best_vn + 1 in
   p.best_vn <- vn;
   p.best_value <- value;
-  Hashtbl.replace t.pending rid p;
-  route t ~rid ~side:`Write (fun rid ->
+  gather t p ~rid ~side:`Write (fun rid ->
       Protocol.Install_req { rid; key = p.key; vn; value })
 
-let handle t ~src msg =
-  let rid = Protocol.rid msg in
-  match Hashtbl.find_opt t.pending rid with
-  | None -> () (* stale reply for a finished or superseded phase *)
-  | Some p when not p.live -> ()
-  | Some p -> (
-      let tr = tracer t in
-      if Obs.Trace.enabled tr then
-        Obs.Trace.instant tr ~cat:"store" ~name:"reply" ~track:t.name
-          ~args:[ ("rid", Obs.Trace.Int rid); ("from", Obs.Trace.Str src) ]
-          ();
-      match (msg, replica_index t src) with
-      | Protocol.Query_rep { vn; value; key; _ }, Some i
-        when String.equal key p.key -> (
-          p.mask <- p.mask lor (1 lsl i);
-          p.replies <- (i, vn) :: p.replies;
-          if vn > p.best_vn then begin
-            p.best_vn <- vn;
-            p.best_value <- value
-          end;
-          match p.phase with
-          | PRead ->
-              if t.strategy.Strategy.read_ok p.mask then finish t p ~ok:true
-          | PWrite_query value ->
-              if t.strategy.Strategy.read_ok p.mask then begin
-                Hashtbl.remove t.pending rid;
-                start_install t p ~value
-              end
-          | PInstall -> ())
-      | Protocol.Install_ack { key; _ }, Some i when String.equal key p.key
-        -> (
-          match p.phase with
-          | PInstall ->
-              p.mask <- p.mask lor (1 lsl i);
-              if t.strategy.Strategy.write_ok p.mask then finish t p ~ok:true
-          | PRead | PWrite_query _ -> ())
-      | _ -> ())
+and gather t (p : pending) ~rid ~side make =
+  let targets, fanout = targets_for t ~side in
+  ignore
+    (Engine.call t.eng ~op:p.op ~rid ~targets ?fanout ~make
+       ~on_reply:(fun ~src msg -> on_reply t p ~src msg)
+       ())
 
 (** Attach the client's reply handler to the network. *)
-let attach t = Net.register t.net ~node:t.name (fun ~src msg -> handle t ~src msg)
+let attach t = Engine.attach t.eng
 
 let start_op t ~key ~phase ~on_done =
-  let rid = fresh_rid t in
+  let rid = Engine.fresh_rid t.eng in
   let tr = tracer t in
   let span =
     if Obs.Trace.enabled tr then
@@ -273,6 +285,19 @@ let start_op t ~key ~phase ~on_done =
            ())
     else None
   in
+  let p_ref = ref None in
+  let op =
+    Engine.start_op t.eng ~timeout:t.timeout ~on_timeout:(fun () ->
+        match !p_ref with
+        | None -> ()
+        | Some p ->
+            if Obs.Trace.enabled tr then
+              Obs.Trace.instant tr ~cat:"store" ~name:"timeout" ~track:t.name
+                ~args:
+                  [ ("key", Obs.Trace.Str p.key); ("rid", Obs.Trace.Int p.rid) ]
+                ();
+            finish t p ~ok:false)
+  in
   let p =
     {
       key;
@@ -282,35 +307,36 @@ let start_op t ~key ~phase ~on_done =
       best_vn = 0;
       best_value = 0;
       replies = [];
-      live = true;
+      op;
       span;
-      started = Core.now t.sim;
       on_done;
     }
   in
-  Hashtbl.replace t.pending rid p;
-  arm_timeout t p;
-  rid
+  p_ref := Some p;
+  p
 
 (** Issue a logical read of [key]. *)
 let read t ~key ~on_done =
-  let rid = start_op t ~key ~phase:PRead ~on_done in
-  route t ~rid ~side:`Read (fun rid -> Protocol.Query_req { rid; key })
+  let p = start_op t ~key ~phase:PRead ~on_done in
+  gather t p ~rid:p.rid ~side:`Read (fun rid -> Protocol.Query_req { rid; key })
 
 (** Issue a logical write of [key := value]. *)
 let write t ~key ~value ~on_done =
-  let rid = start_op t ~key ~phase:(PWrite_query value) ~on_done in
-  route t ~rid ~side:`Read (fun rid -> Protocol.Query_req { rid; key })
+  let p = start_op t ~key ~phase:(PWrite_query value) ~on_done in
+  gather t p ~rid:p.rid ~side:`Read (fun rid -> Protocol.Query_req { rid; key })
 
 (** Install [(vn, value)] directly, skipping the version query — the
     data-migration step of reconfiguration, where the version number
     was discovered under the {e old} configuration and the data must
-    be pushed to a write quorum of the {e new} one. *)
+    be pushed to a write quorum of the {e new} one.  Always broadcast:
+    migration wants every reachable replica current. *)
 let install t ~key ~vn ~value ~on_done =
-  let rid = start_op t ~key ~phase:PInstall ~on_done in
-  (match Hashtbl.find_opt t.pending rid with
-  | Some p ->
-      p.best_vn <- vn;
-      p.best_value <- value
-  | None -> ());
-  broadcast t ~rid (fun rid -> Protocol.Install_req { rid; key; vn; value })
+  let p = start_op t ~key ~phase:PInstall ~on_done in
+  p.best_vn <- vn;
+  p.best_value <- value;
+  ignore
+    (Engine.call t.eng ~op:p.op ~rid:p.rid
+       ~targets:(Array.to_list t.replicas)
+       ~make:(fun rid -> Protocol.Install_req { rid; key; vn; value })
+       ~on_reply:(fun ~src msg -> on_reply t p ~src msg)
+       ())

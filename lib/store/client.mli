@@ -2,8 +2,9 @@
     Section 3.1's logic over RPC: reads assemble a read quorum of
     replies and return the highest-versioned value; writes first learn
     the version from a read quorum, then install [(vn + 1, value)] at
-    a write quorum.  Requests go to all replicas and complete on the
-    fastest quorum; timeout = failed operation. *)
+    a write quorum.  The request mechanics — rids, the pending table,
+    the deadline, retries/backoff/hedging — come from {!Rpc.Engine};
+    timeout = failed operation. *)
 
 module Core = Sim.Core
 module Net = Sim.Net
@@ -11,17 +12,17 @@ module Net = Sim.Net
 (** Request routing: [`Broadcast] (fastest-quorum hedging, 2n messages
     per round) or [`Quorum] (one randomly chosen minimal quorum —
     fewer messages, spreadable load, weaker tail latency and
-    availability). *)
+    availability; a hedging policy turns the unchosen replicas into
+    the fallback pool). *)
 type targeting = [ `Broadcast | `Quorum ]
 
 type t = {
   name : string;
   sim : Core.t;
   net : Protocol.msg Net.t;
+  eng : Protocol.msg Rpc.Engine.t;  (** the shared request engine *)
   replicas : string array;
   mutable strategy : Strategy.t;  (** swappable (reconfiguration) *)
-  mutable next_rid : int;
-  pending : (int, pending) Hashtbl.t;
   timeout : float;
   read_repair : bool;
       (** reads push the newest (version, value) back to stale
@@ -35,8 +36,6 @@ type t = {
   write_latency : Obs.Metrics.histogram;
 }
 
-and pending
-
 val create :
   name:string ->
   sim:Core.t ->
@@ -46,14 +45,24 @@ val create :
   ?timeout:float ->
   ?read_repair:bool ->
   ?targeting:targeting ->
+  ?policy:Rpc.Policy.t ->
   ?seed:int ->
   ?metrics:Obs.Metrics.t ->
   unit ->
   t
 (** [metrics] defaults to a private registry; pass a shared one to
-    aggregate a whole cluster.  Every operation is traced as a span on
-    the simulator's tracer (begin at issue, end at quorum/timeout),
-    with reply / phase-switch / timeout instants in between. *)
+    aggregate a whole cluster.  [policy] (default {!Rpc.Policy.default},
+    fire-once) governs per-request retries, backoff and hedging.
+    Every operation is traced as a span on the simulator's tracer
+    (begin at issue, end at quorum/timeout), with reply / phase-switch
+    / timeout instants in between. *)
+
+val set_policy : t -> Rpc.Policy.t -> unit
+(** Swap the retry/hedge policy; applies to operations issued after
+    the call.  @raise Invalid_argument on an invalid policy — use
+    {!Rpc.Policy.validate} first to report errors gracefully. *)
+
+val policy : t -> Rpc.Policy.t
 
 val attach : t -> unit
 (** Install the client's reply handler on the network. *)

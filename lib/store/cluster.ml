@@ -25,6 +25,8 @@ type params = {
   timeout : float;
   failures : Sim.Failure.spec option;  (** applied to every replica *)
   targeting : Client.targeting;
+  policy : Rpc.Policy.t;
+      (** per-request retry/backoff/hedging policy of every client *)
   partitions : float option;
       (** nemesis: every ~[mean] time units, cut the replica set along
           a random bipartition (clients stay connected to one random
@@ -50,6 +52,7 @@ let default_params =
     timeout = 100.0;
     failures = None;
     targeting = `Broadcast;
+    policy = Rpc.Policy.default;
     partitions = None;
     seed = 42;
     trace_capacity = 0;
@@ -125,7 +128,7 @@ let run (p : params) : results =
           Client.create ~name ~sim ~net
             ~replicas:(Array.of_list replica_names)
             ~strategy ~timeout:p.timeout ~targeting:p.targeting
-            ~seed:(p.seed + ci) ~metrics ()
+            ~policy:p.policy ~seed:(p.seed + ci) ~metrics ()
         in
         Client.attach c;
         (ci, c))

@@ -18,6 +18,10 @@ type params = {
   timeout : float;
   failures : Sim.Failure.spec option;  (** applied to every replica *)
   targeting : Client.targeting;  (** broadcast vs targeted quorum sends *)
+  policy : Rpc.Policy.t;
+      (** per-request retry/backoff/hedging policy of every client;
+          the default fire-once policy reproduces historical runs
+          byte for byte *)
   partitions : float option;
       (** nemesis: cut the replica set along a random bipartition
           roughly every [mean] time units (clients follow one side),

@@ -543,3 +543,91 @@ let load_table ?(seed = 83) () : load_row list =
           })
         [ ("broadcast", `Broadcast); ("targeted", `Quorum) ])
     strategies
+
+(** {1 Ablation — retry/backoff/hedging policy under adverse networks}
+
+    The engine's robustness knobs against the two failure modes the
+    other experiments inject: random message loss and nemesis
+    partitions.  Targeted-quorum routing is the stress case — a single
+    lost message stalls the chosen quorum, so fire-once clients pay
+    the full operation timeout while retries resend and hedges fall
+    back to the unchosen replicas. *)
+
+type retry_row = {
+  policy_name : string;
+  condition : string;
+  ok_ops : int;
+  failed_ops : int;
+  success_rate : float;
+  read_mean : float;
+  messages : int;
+  retries : int;
+  hedges : int;
+  audit_clean : bool;
+}
+
+let retry_policy_table ?(seed = 77) () : retry_row list =
+  let policies =
+    [
+      ("fire-once", Rpc.Policy.default);
+      ("retry x2", Rpc.Policy.with_retries 2);
+      ( "retry x2 + hedge 12",
+        Rpc.Policy.with_hedge ~base:(Rpc.Policy.with_retries 2) 12.0 );
+    ]
+  in
+  let conditions =
+    [ ("loss 30%", 0.3, None); ("partitions", 0.0, Some 150.0) ]
+  in
+  let n_clients = 4 in
+  List.concat_map
+    (fun (policy_name, policy) ->
+      List.map
+        (fun (condition, loss, partitions) ->
+          let r =
+            Cluster.run
+              {
+                Cluster.default_params with
+                targeting = `Quorum;
+                policy;
+                loss;
+                partitions;
+                n_clients;
+                workload =
+                  {
+                    Workload.default_spec with
+                    ops_per_client = 150;
+                    read_fraction = 0.5;
+                  };
+                seed;
+              }
+          in
+          (* the engine's counters are per client; re-fetching the same
+             (name, labels) pair from the shared registry yields the
+             same instrument, so summing over client names aggregates *)
+          let sum name =
+            List.fold_left
+              (fun acc ci ->
+                acc
+                + Obs.Metrics.value
+                    (Obs.Metrics.counter r.Cluster.metrics
+                       ~labels:[ ("client", Fmt.str "c%d" ci) ]
+                       name))
+              0
+              (List.init n_clients Fun.id)
+          in
+          let ok = r.Cluster.ok_reads + r.Cluster.ok_writes in
+          let failed = r.Cluster.failed_reads + r.Cluster.failed_writes in
+          {
+            policy_name;
+            condition;
+            ok_ops = ok;
+            failed_ops = failed;
+            success_rate = Cluster.availability r;
+            read_mean = r.Cluster.reads.Sim.Stats.mean;
+            messages = r.Cluster.net.Sim.Net.sent;
+            retries = sum "rpc.retries";
+            hedges = sum "rpc.hedges";
+            audit_clean = r.Cluster.audit_violations = [];
+          })
+        conditions)
+    policies

@@ -104,3 +104,22 @@ type load_row = {
 val load_table : ?seed:int -> unit -> load_row list
 (** Broadcast vs targeted-quorum routing: message counts, read
     latency, availability, and per-replica load imbalance. *)
+
+type retry_row = {
+  policy_name : string;
+  condition : string;
+  ok_ops : int;
+  failed_ops : int;
+  success_rate : float;
+  read_mean : float;
+  messages : int;
+  retries : int;
+  hedges : int;
+  audit_clean : bool;  (** consistency audit passed *)
+}
+
+val retry_policy_table : ?seed:int -> unit -> retry_row list
+(** Ablation: operation success rate and latency vs the engine's
+    retry/backoff/hedging policy, under message loss and nemesis
+    partitions (targeted-quorum routing — the stress case for
+    fire-once clients). *)

@@ -9,11 +9,16 @@
 
     The read-one fast path is the scheme's selling point over static
     majority quorums; the price is the view-change machinery and the
-    loss of minority-side availability. *)
+    loss of minority-side availability.  Request mechanics (rids,
+    pending table, deadline, retries, hedging) come from
+    {!Rpc.Engine}; under a hedging policy a stalled read-one falls
+    back to the remaining view members — read-one and read-all are the
+    two extremes of the same call. *)
 
 module Core = Sim.Core
 module Net = Sim.Net
 module Prng = Qc_util.Prng
+module Engine = Rpc.Engine
 
 type phase = PRead | PWrite_query of int | PInstall
 
@@ -24,8 +29,7 @@ type pending = {
   mutable awaiting : string list;  (** members still to acknowledge *)
   mutable vn : int;
   mutable value : int;
-  mutable live : bool;
-  started : float;
+  op : Engine.op;
   on_done : ok:bool -> vn:int -> value:int -> latency:float -> unit;
 }
 
@@ -33,23 +37,23 @@ type t = {
   name : string;
   sim : Core.t;
   net : Protocol.msg Net.t;
+  eng : Protocol.msg Engine.t;
   rng : Prng.t;
   mutable view : View.t;
-  mutable next_rid : int;
-  pending : (int, pending) Hashtbl.t;
   timeout : float;
   mutable nacked : int;  (** ops failed by stale-view NACKs *)
 }
 
-let create ~name ~sim ~net ~view ?(timeout = 50.0) ~seed () =
+let create ~name ~sim ~net ~view ?(timeout = 50.0) ?policy ~seed () =
   {
     name;
     sim;
     net;
+    eng =
+      Engine.create ~name ~sim ~net ~rid_of:Protocol.rid ?policy ~cat:"vp"
+        ~seed ();
     rng = Prng.create seed;
     view;
-    next_rid = 0;
-    pending = Hashtbl.create 8;
     timeout;
     nacked = 0;
   }
@@ -57,116 +61,110 @@ let create ~name ~sim ~net ~view ?(timeout = 50.0) ~seed () =
 (** Adopt a new view (after the manager completes a change). *)
 let set_view t view = t.view <- view
 
-let fresh_rid t =
-  let rid = t.next_rid in
-  t.next_rid <- rid + 1;
-  rid
+let set_policy t p = Engine.set_policy t.eng p
+let policy t = Engine.policy t.eng
 
 let finish t (p : pending) ~ok =
-  if p.live then begin
-    p.live <- false;
-    Hashtbl.remove t.pending p.rid;
+  if Engine.op_live p.op then begin
+    Engine.finish_op t.eng p.op;
     p.on_done ~ok ~vn:p.vn ~value:p.value
-      ~latency:(Core.now t.sim -. p.started)
+      ~latency:(Core.now t.sim -. Engine.op_started p.op)
   end
 
-let arm_timeout t (p : pending) =
-  Core.schedule t.sim ~delay:t.timeout (fun () ->
-      if p.live then finish t p ~ok:false)
+let rec on_reply t (p : pending) ~src msg =
+  match msg with
+  | Protocol.Nack _ ->
+      t.nacked <- t.nacked + 1;
+      finish t p ~ok:false;
+      Engine.Done
+  | Protocol.Read_rep { key; vn; value; _ } when String.equal key p.key -> (
+      match p.phase with
+      | PRead ->
+          p.vn <- vn;
+          p.value <- value;
+          finish t p ~ok:true;
+          Engine.Done
+      | PWrite_query value' ->
+          (* version discovery polls EVERY view member: a write that
+             failed mid-install may have left a higher version on some
+             member, and installing below it would be silently ignored
+             there (non-monotonic histories, stale read-my-writes).
+             Taking the max over the whole view restores
+             monotonicity. *)
+          p.vn <- max p.vn vn;
+          p.awaiting <- List.filter (fun r -> r <> src) p.awaiting;
+          if p.awaiting = [] then begin
+            start_install t p ~value:value';
+            Engine.Done
+          end
+          else Engine.Continue
+      | PInstall -> Engine.Continue)
+  | Protocol.Write_ack { key; _ } when String.equal key p.key -> (
+      match p.phase with
+      | PInstall ->
+          p.awaiting <- List.filter (fun r -> r <> src) p.awaiting;
+          if p.awaiting = [] then begin
+            finish t p ~ok:true;
+            Engine.Done
+          end
+          else Engine.Continue
+      | PRead | PWrite_query _ -> Engine.Continue)
+  | _ -> Engine.Continue
 
-let start_install t (p : pending) ~value =
-  let rid = fresh_rid t in
+and start_install t (p : pending) ~value =
+  let rid = Engine.fresh_rid t.eng in
   p.phase <- PInstall;
   p.rid <- rid;
   p.vn <- p.vn + 1;
   p.value <- value;
   p.awaiting <- t.view.View.members;
-  Hashtbl.replace t.pending rid p;
-  List.iter
-    (fun r ->
-      Net.send t.net ~src:t.name ~dst:r
-        (Protocol.Write_req
-           { rid; view = t.view.View.id; key = p.key; vn = p.vn; value }))
-    t.view.View.members
+  let view = t.view.View.id in
+  ignore
+    (Engine.call t.eng ~op:p.op ~rid ~targets:t.view.View.members
+       ~make:(fun rid ->
+         Protocol.Write_req { rid; view; key = p.key; vn = p.vn; value })
+       ~on_reply:(fun ~src msg -> on_reply t p ~src msg)
+       ())
 
-let handle t ~src msg =
-  let rid = Protocol.rid msg in
-  match Hashtbl.find_opt t.pending rid with
-  | None -> ()
-  | Some p when not p.live -> ()
-  | Some p -> (
-      match msg with
-      | Protocol.Nack _ ->
-          t.nacked <- t.nacked + 1;
-          finish t p ~ok:false
-      | Protocol.Read_rep { key; vn; value; _ } when String.equal key p.key
-        -> (
-          match p.phase with
-          | PRead ->
-              p.vn <- vn;
-              p.value <- value;
-              finish t p ~ok:true
-          | PWrite_query value' ->
-              (* version discovery polls EVERY view member: a write
-                 that failed mid-install may have left a higher
-                 version on some member, and installing below it
-                 would be silently ignored there (non-monotonic
-                 histories, stale read-my-writes).  Taking the max
-                 over the whole view restores monotonicity. *)
-              p.vn <- max p.vn vn;
-              p.awaiting <- List.filter (fun r -> r <> src) p.awaiting;
-              if p.awaiting = [] then begin
-                Hashtbl.remove t.pending rid;
-                start_install t p ~value:value'
-              end
-          | PInstall -> ())
-      | Protocol.Write_ack { key; _ } when String.equal key p.key -> (
-          match p.phase with
-          | PInstall ->
-              p.awaiting <- List.filter (fun r -> r <> src) p.awaiting;
-              if p.awaiting = [] then finish t p ~ok:true
-          | PRead | PWrite_query _ -> ())
-      | _ -> ())
-
-let attach t = Net.register t.net ~node:t.name (fun ~src msg -> handle t ~src msg)
+let attach t = Engine.attach t.eng
 
 let start_op t ~key ~phase ~on_done =
-  let rid = fresh_rid t in
-  let p =
-    {
-      key;
-      rid;
-      phase;
-      awaiting = [];
-      vn = 0;
-      value = 0;
-      live = true;
-      started = Core.now t.sim;
-      on_done;
-    }
+  let rid = Engine.fresh_rid t.eng in
+  let p_ref = ref None in
+  let op =
+    Engine.start_op t.eng ~timeout:t.timeout ~on_timeout:(fun () ->
+        match !p_ref with None -> () | Some p -> finish t p ~ok:false)
   in
-  Hashtbl.replace t.pending rid p;
-  arm_timeout t p;
-  rid
+  let p =
+    { key; rid; phase; awaiting = []; vn = 0; value = 0; op; on_done }
+  in
+  p_ref := Some p;
+  p
 
 (* one random member of the current view *)
 let pick_member t = Prng.choose t.rng t.view.View.members
 
-(** Read: one round trip to a single view member. *)
+(** Read: one round trip to a single view member; the other members
+    are the hedge pool (only contacted under a hedging policy). *)
 let read t ~key ~on_done =
-  let rid = start_op t ~key ~phase:PRead ~on_done in
-  Net.send t.net ~src:t.name ~dst:(pick_member t)
-    (Protocol.Read_req { rid; view = t.view.View.id; key })
+  let p = start_op t ~key ~phase:PRead ~on_done in
+  let first = pick_member t in
+  let rest = List.filter (fun r -> r <> first) t.view.View.members in
+  let view = t.view.View.id in
+  ignore
+    (Engine.call t.eng ~op:p.op ~rid:p.rid ~targets:(first :: rest) ~fanout:1
+       ~make:(fun rid -> Protocol.Read_req { rid; view; key })
+       ~on_reply:(fun ~src msg -> on_reply t p ~src msg)
+       ())
 
-(** Write: version from every view member (see the note in [handle]
+(** Write: version from every view member (see the note in [on_reply]
     about partially-failed installs), then install at every member. *)
 let write t ~key ~value ~on_done =
-  let rid = start_op t ~key ~phase:(PWrite_query value) ~on_done in
-  (match Hashtbl.find_opt t.pending rid with
-  | Some p -> p.awaiting <- t.view.View.members
-  | None -> ());
-  List.iter
-    (fun r ->
-      Net.send t.net ~src:t.name ~dst:r
-        (Protocol.Read_req { rid; view = t.view.View.id; key }))
-    t.view.View.members
+  let p = start_op t ~key ~phase:(PWrite_query value) ~on_done in
+  p.awaiting <- t.view.View.members;
+  let view = t.view.View.id in
+  ignore
+    (Engine.call t.eng ~op:p.op ~rid:p.rid ~targets:t.view.View.members
+       ~make:(fun rid -> Protocol.Read_req { rid; view; key })
+       ~on_reply:(fun ~src msg -> on_reply t p ~src msg)
+       ())

@@ -1,7 +1,8 @@
 (** The virtual-partition client: within a primary view, reads go to
     one member (the fast path), writes discover the version from every
     member and install at every member; NACK or timeout fails the
-    operation. *)
+    operation.  Runs on {!Rpc.Engine}; under a hedging policy a
+    stalled read-one falls back to the remaining view members. *)
 
 type t
 
@@ -11,12 +12,19 @@ val create :
   net:Protocol.msg Sim.Net.t ->
   view:View.t ->
   ?timeout:float ->
+  ?policy:Rpc.Policy.t ->
   seed:int ->
   unit ->
   t
 
 val set_view : t -> View.t -> unit
 (** Adopt a new view (after the manager completes a change). *)
+
+val set_policy : t -> Rpc.Policy.t -> unit
+(** Swap the retry/hedge policy for operations issued after the call.
+    @raise Invalid_argument on an invalid policy. *)
+
+val policy : t -> Rpc.Policy.t
 
 val attach : t -> unit
 

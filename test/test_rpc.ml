@@ -1,0 +1,331 @@
+(* Tests for the shared replication RPC engine (lib/rpc): the
+   quorum-gather combinator, pending-table hygiene, bounded retries
+   with deterministic backoff, hedged requests, and the store-level
+   properties the engine exists for — higher success under loss and a
+   clean consistency audit under partitions with retries and hedging
+   enabled. *)
+
+module Core = Sim.Core
+module Net = Sim.Net
+module Engine = Rpc.Engine
+module Policy = Rpc.Policy
+
+(* ---------- a minimal echo protocol over Sim.Net ---------- *)
+
+type msg = Req of int | Rep of int
+
+let rid_of = function Req r | Rep r -> r
+let servers = List.init 5 (fun i -> Fmt.str "s%d" i)
+
+let make_world ~seed ?policy ?(loss = 0.0) () =
+  let sim = Core.create ~seed in
+  let net = Net.create ~sim ~nodes:("c" :: servers) ~loss () in
+  List.iter
+    (fun s ->
+      Net.register net ~node:s (fun ~src msg ->
+          match msg with
+          | Req r -> Net.send net ~src:s ~dst:src (Rep r)
+          | Rep _ -> ()))
+    servers;
+  let eng = Engine.create ~name:"c" ~sim ~net ~rid_of ?policy () in
+  Engine.attach eng;
+  (sim, net, eng)
+
+(* One operation gathering [k] replies; resolves to `Ok completion
+   time, `Exhausted (retries ran out), or `Timeout (deadline). *)
+let gather ~sim ~eng ~k ~timeout ?fanout ?(targets = servers) () =
+  let outcome = ref `Pending in
+  let op_ref = ref None in
+  let op =
+    Engine.start_op eng ~timeout ~on_timeout:(fun () ->
+        (match !op_ref with
+        | Some op -> Engine.finish_op eng op
+        | None -> ());
+        outcome := `Timeout)
+  in
+  op_ref := Some op;
+  let got = ref 0 in
+  ignore
+    (Engine.call eng ~op ~targets ?fanout
+       ~make:(fun rid -> Req rid)
+       ~on_reply:(fun ~src:_ _ ->
+         incr got;
+         if !got >= k then begin
+           Engine.finish_op eng op;
+           outcome := `Ok (Core.now sim);
+           Engine.Done
+         end
+         else Engine.Continue)
+       ~on_exhausted:(fun () ->
+         Engine.finish_op eng op;
+         outcome := `Exhausted (Core.now sim))
+       ());
+  outcome
+
+(* ---------- fire-once basics ---------- *)
+
+let test_fire_once_quorum () =
+  let sim, _net, eng = make_world ~seed:3 () in
+  let outcome = gather ~sim ~eng ~k:3 ~timeout:50.0 () in
+  Core.run sim;
+  (match !outcome with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "expected quorum of echo replies");
+  Alcotest.(check int) "pending table drained" 0 (Engine.pending_count eng)
+
+let test_deadline_cleans_pending () =
+  let sim, net, eng = make_world ~seed:4 () in
+  List.iter (Net.crash net) servers;
+  let outcome = gather ~sim ~eng ~k:3 ~timeout:50.0 () in
+  Core.run sim;
+  (match !outcome with
+  | `Timeout -> ()
+  | _ -> Alcotest.fail "expected deadline timeout");
+  Alcotest.(check int)
+    "pending table drained after timeout" 0
+    (Engine.pending_count eng)
+
+(* ---------- retries ---------- *)
+
+let retry_policy =
+  Policy.with_retries 2 ~attempt_timeout:10.0 ~backoff:5.0 ~jitter:0.2
+
+let exhaust_time seed =
+  let sim, net, eng = make_world ~seed ~policy:retry_policy () in
+  List.iter (Net.crash net) servers;
+  let outcome = gather ~sim ~eng ~k:3 ~timeout:1000.0 () in
+  Core.run sim;
+  Alcotest.(check int) "pending drained" 0 (Engine.pending_count eng);
+  match !outcome with
+  | `Exhausted t -> t
+  | _ -> Alcotest.fail "expected exhaustion after max retries"
+
+let test_no_quorum_exhausts_deterministically () =
+  (* with no server ever reachable the op fails when attempts run out
+     (well before the 1000-unit deadline), at the same virtual time on
+     every run of the same seed — jittered backoff comes from the
+     engine's own seeded PRNG *)
+  let t1 = exhaust_time 7 and t2 = exhaust_time 7 in
+  Alcotest.(check (float 0.0)) "same seed, same exhaustion time" t1 t2;
+  Alcotest.(check bool) "exhausted before the operation deadline" true
+    (t1 < 1000.0)
+
+let test_retry_succeeds_after_heal () =
+  (* 3 of 5 servers down: no 3-quorum until s2 recovers at t=25; a
+     fire-once call misses it, a retrying call resends and completes *)
+  let attempt policy =
+    let sim, net, eng = make_world ~seed:9 ?policy () in
+    List.iter (Net.crash net) [ "s0"; "s1"; "s2" ];
+    Core.schedule sim ~delay:25.0 (fun () -> Net.recover net "s2");
+    let outcome = gather ~sim ~eng ~k:3 ~timeout:200.0 () in
+    Core.run sim;
+    Alcotest.(check int) "pending drained" 0 (Engine.pending_count eng);
+    !outcome
+  in
+  (match attempt None with
+  | `Timeout -> ()
+  | _ -> Alcotest.fail "fire-once should miss the healed server");
+  match attempt (Some (Policy.with_retries 3 ~attempt_timeout:10.0)) with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "retries should reach the healed server"
+
+(* ---------- hedging ---------- *)
+
+let test_hedge_falls_back () =
+  (* fanout 1 aimed at a crashed server: without hedging the call
+     stalls to the deadline; with a hedge delay the request fans out
+     to the rest and completes *)
+  let attempt policy =
+    let sim, net, eng = make_world ~seed:5 ?policy () in
+    Net.crash net "s0";
+    let outcome = gather ~sim ~eng ~k:1 ~timeout:60.0 ~fanout:1 () in
+    Core.run sim;
+    !outcome
+  in
+  (match attempt None with
+  | `Timeout -> ()
+  | _ -> Alcotest.fail "fire-once fanout-1 at a dead server should stall");
+  match attempt (Some (Policy.with_hedge 5.0)) with
+  | `Ok t ->
+      Alcotest.(check bool) "hedged completion is prompt" true (t < 60.0)
+  | _ -> Alcotest.fail "hedge should fall back to the live servers"
+
+(* ---------- policy validation ---------- *)
+
+let test_policy_validation () =
+  let bad p = Alcotest.(check bool) "rejected" true (Result.is_error p) in
+  bad (Policy.validate { Policy.default with Policy.max_attempts = 0 });
+  bad (Policy.validate { Policy.default with Policy.attempt_timeout = 0.0 });
+  bad (Policy.validate { Policy.default with Policy.attempt_timeout = nan });
+  bad (Policy.validate { Policy.default with Policy.backoff = -1.0 });
+  bad (Policy.validate { Policy.default with Policy.backoff_mult = 0.5 });
+  bad (Policy.validate { Policy.default with Policy.jitter = 1.0 });
+  bad (Policy.validate { Policy.default with Policy.hedge_delay = Some 0.0 });
+  Alcotest.(check bool) "default valid" true
+    (Result.is_ok (Policy.validate Policy.default));
+  Alcotest.(check bool) "with_retries valid" true
+    (Result.is_ok (Policy.validate (Policy.with_retries 4)));
+  Alcotest.check_raises "Engine.create rejects an invalid policy"
+    (Invalid_argument
+       "Rpc.Engine: invalid policy: max_attempts must be >= 1 (got 0)")
+    (fun () ->
+      let sim = Core.create ~seed:1 in
+      let net = Net.create ~sim ~nodes:[ "c" ] () in
+      ignore
+        (Engine.create ~name:"c" ~sim ~net ~rid_of
+           ~policy:{ Policy.default with Policy.max_attempts = 0 }
+           ()))
+
+let prop_retry_delay_bounds =
+  QCheck.Test.make ~count:200 ~name:"retry_delay stays within jitter bounds"
+    QCheck.(pair (int_range 2 8) (float_bound_exclusive 1.0))
+    (fun (attempt, u) ->
+      let p = Policy.with_retries 7 ~backoff:5.0 ~backoff_mult:2.0 ~jitter:0.2 in
+      let d = Policy.retry_delay p ~attempt ~u in
+      let base = 5.0 *. (2.0 ** float_of_int (attempt - 2)) in
+      d >= base *. 0.8 -. 1e-9 && d <= base *. 1.2 +. 1e-9)
+
+(* ---------- determinism with retries + loss ---------- *)
+
+let lossy_retry_run seed =
+  let sim, _net, eng =
+    make_world ~seed ~policy:(Policy.with_retries 2 ~attempt_timeout:8.0)
+      ~loss:0.3 ()
+  in
+  let results = ref [] in
+  let rec issue n =
+    if n > 0 then
+      Core.schedule sim ~delay:5.0 (fun () ->
+          let outcome = gather ~sim ~eng ~k:3 ~timeout:80.0 () in
+          Core.schedule sim ~delay:81.0 (fun () ->
+              results :=
+                (match !outcome with
+                | `Ok t -> Fmt.str "ok@%g" t
+                | `Timeout -> "timeout"
+                | `Exhausted t -> Fmt.str "exhausted@%g" t
+                | `Pending -> "pending")
+                :: !results;
+              issue (n - 1)))
+  in
+  issue 10;
+  Core.run sim;
+  (!results, Core.now sim, Engine.pending_count eng)
+
+let test_lossy_retry_deterministic () =
+  let r1, t1, p1 = lossy_retry_run 21 in
+  let r2, t2, p2 = lossy_retry_run 21 in
+  Alcotest.(check (list string)) "same outcomes" r1 r2;
+  Alcotest.(check (float 0.0)) "same duration" t1 t2;
+  Alcotest.(check int) "pending drained" 0 p1;
+  Alcotest.(check int) "pending drained" 0 p2
+
+(* ---------- store-level: the engine under the quorum client ---------- *)
+
+let store_replicas = List.init 5 (fun i -> Fmt.str "r%d" i)
+
+let test_store_client_pending_hygiene () =
+  (* every replica down: the write times out; nothing may leak from
+     the engine's pending table, and the client still answers *)
+  let sim = Core.create ~seed:6 in
+  let net = Net.create ~sim ~nodes:("c0" :: store_replicas) () in
+  let replicas =
+    List.map (fun name -> Store.Replica.create ~name ()) store_replicas
+  in
+  List.iter (fun r -> Store.Replica.attach r ~net) replicas;
+  let client =
+    Store.Client.create ~name:"c0" ~sim ~net
+      ~replicas:(Array.of_list store_replicas)
+      ~strategy:(Store.Strategy.majority 5) ~timeout:40.0 ()
+  in
+  Store.Client.attach client;
+  let failed = ref 0 and ok = ref 0 in
+  Store.Client.write client ~key:"k" ~value:1
+    ~on_done:(fun ~ok:o ~vn:_ ~value:_ ~latency:_ ->
+      incr (if o then ok else failed));
+  Core.run sim;
+  List.iter (Net.crash net) store_replicas;
+  Store.Client.write client ~key:"k" ~value:2
+    ~on_done:(fun ~ok:o ~vn:_ ~value:_ ~latency:_ ->
+      incr (if o then ok else failed));
+  Core.run sim;
+  Alcotest.(check int) "first write ok" 1 !ok;
+  Alcotest.(check int) "second write failed" 1 !failed;
+  Alcotest.(check int) "engine pending drained" 0
+    (Engine.pending_count client.Store.Client.eng)
+
+let test_retries_raise_availability_under_loss () =
+  let run policy =
+    Store.Cluster.run
+      {
+        Store.Cluster.default_params with
+        targeting = `Quorum;
+        policy;
+        loss = 0.3;
+        workload =
+          { Store.Workload.default_spec with ops_per_client = 80; read_fraction = 0.5 };
+        seed = 77;
+      }
+  in
+  let base = run Policy.default in
+  let retried = run (Policy.with_retries 2) in
+  Alcotest.(check bool) "audit clean (fire-once)" true
+    (base.Store.Cluster.audit_violations = []);
+  Alcotest.(check bool) "audit clean (retries)" true
+    (retried.Store.Cluster.audit_violations = []);
+  Alcotest.(check bool)
+    (Fmt.str "retries improve success rate (%.3f -> %.3f)"
+       (Store.Cluster.availability base)
+       (Store.Cluster.availability retried))
+    true
+    (Store.Cluster.availability retried > Store.Cluster.availability base)
+
+let prop_nemesis_partitions_with_retries_audit_clean =
+  QCheck.Test.make ~count:8
+    ~name:"nemesis partitions + retries + hedging keep the audit clean"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let r =
+        Store.Cluster.run
+          {
+            Store.Cluster.default_params with
+            targeting = `Quorum;
+            policy = Policy.with_hedge ~base:(Policy.with_retries 2) 12.0;
+            partitions = Some 150.0;
+            workload =
+              { Store.Workload.default_spec with ops_per_client = 60; read_fraction = 0.5 };
+            seed;
+          }
+      in
+      match r.Store.Cluster.audit_violations with
+      | [] -> true
+      | v :: _ -> QCheck.Test.fail_report v)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "rpc.engine",
+      [
+        Alcotest.test_case "fire-once quorum gather" `Quick test_fire_once_quorum;
+        Alcotest.test_case "deadline cleans pending" `Quick
+          test_deadline_cleans_pending;
+        Alcotest.test_case "no quorum: deterministic exhaustion" `Quick
+          test_no_quorum_exhausts_deterministically;
+        Alcotest.test_case "retry succeeds after heal" `Quick
+          test_retry_succeeds_after_heal;
+        Alcotest.test_case "hedge falls back past a dead server" `Quick
+          test_hedge_falls_back;
+        Alcotest.test_case "policy validation" `Quick test_policy_validation;
+        qcheck prop_retry_delay_bounds;
+        Alcotest.test_case "lossy retries are seed-deterministic" `Quick
+          test_lossy_retry_deterministic;
+      ] );
+    ( "rpc.store",
+      [
+        Alcotest.test_case "pending hygiene through the store client" `Quick
+          test_store_client_pending_hygiene;
+        Alcotest.test_case "retries raise availability under loss" `Slow
+          test_retries_raise_availability_under_loss;
+        qcheck prop_nemesis_partitions_with_retries_audit_clean;
+      ] );
+  ]
