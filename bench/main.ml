@@ -260,6 +260,36 @@ let t_rpc_retry_hedge =
            (lossy_cluster_params
               (Rpc.Policy.with_hedge ~base:(Rpc.Policy.with_retries 2) 12.0))))
 
+(* the routing layer: one keyspace split four ways, with and without
+   multi-key batching — the message-economy numbers of DESIGN.md §10 *)
+let sharded_cluster_params batch_window =
+  {
+    Store.Cluster.default_params with
+    n_replicas = 3;
+    n_clients = 4;
+    n_shards = 4;
+    shard_scheme = `Range;
+    batch_window;
+    workload =
+      {
+        Store.Workload.default_spec with
+        ops_per_client = 25;
+        zipf_s = 1.1;
+        burst = 8;
+      };
+    seed = fixture_seed;
+  }
+
+let t_sharded_unbatched =
+  Test.make ~name:"Q3 sharded cluster run (4 shards, unbatched)"
+    (Staged.stage (fun () ->
+         Store.Cluster.run (sharded_cluster_params None)))
+
+let t_sharded_batched =
+  Test.make ~name:"Q3 sharded cluster run (4 shards, batched)"
+    (Staged.stage (fun () ->
+         Store.Cluster.run (sharded_cluster_params (Some 1.0))))
+
 let all_tests =
   [
     t_f1_build_system_b;
@@ -289,6 +319,8 @@ let all_tests =
     t_vp_view_change;
     t_rpc_fire_once;
     t_rpc_retry_hedge;
+    t_sharded_unbatched;
+    t_sharded_batched;
   ]
 
 let test_name t = Test.Elt.name (List.hd (Test.elements t))
@@ -345,7 +377,36 @@ let dump_trace_if_asked () =
            path
        with Sys_error e -> Fmt.epr "OBS_TRACE: cannot write trace: %s@." e)
 
-let run_benchmarks only quota list_only =
+(* machine-readable results, for CI artifacts: a stable little JSON
+   document, built by hand (names are plain ASCII; escape anyway) *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~quota rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\"suite\":\"quorum_nested\",\"quota_s\":%g,\"unit\":\"ns/run\",\"benchmarks\":[" quota;
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "%s{\"name\":\"%s\",\"ns_per_run\":%s}"
+        (if i = 0 then "" else ",")
+        (json_escape name)
+        (if Float.is_finite est then Printf.sprintf "%.1f" est else "null"))
+    rows;
+  output_string oc "]}\n";
+  close_out oc
+
+let run_benchmarks only quota list_only json_file =
   let tests = select only in
   if list_only then begin
     List.iter (fun t -> Fmt.pr "%s@." (test_name t)) tests;
@@ -361,20 +422,28 @@ let run_benchmarks only quota list_only =
     Fmt.pr "%-55s %18s@." "benchmark" "ns/run";
     Fmt.pr "%s@." (String.make 74 '-');
     let clock = Measure.label Instance.monotonic_clock in
-    (match Hashtbl.find_opt results clock with
-    | None -> Fmt.pr "no results@."
-    | Some tbl ->
-        let rows =
-          Hashtbl.fold
-            (fun name ols acc ->
-              match Analyze.OLS.estimates ols with
-              | Some [ est ] -> (name, est) :: acc
-              | Some _ | None -> (name, nan) :: acc)
-            tbl []
-        in
-        List.iter
-          (fun (name, est) -> Fmt.pr "%-55s %18.1f@." name est)
-          (List.sort compare rows));
+    let rows =
+      match Hashtbl.find_opt results clock with
+      | None -> []
+      | Some tbl ->
+          List.sort compare
+            (Hashtbl.fold
+               (fun name ols acc ->
+                 match Analyze.OLS.estimates ols with
+                 | Some [ est ] -> (name, est) :: acc
+                 | Some _ | None -> (name, nan) :: acc)
+               tbl [])
+    in
+    if rows = [] then Fmt.pr "no results@."
+    else
+      List.iter (fun (name, est) -> Fmt.pr "%-55s %18.1f@." name est) rows;
+    (match json_file with
+    | None -> ()
+    | Some path -> (
+        try
+          write_json path ~quota rows;
+          Fmt.epr "wrote %d benchmark results to %s@." (List.length rows) path
+        with Sys_error e -> Fmt.epr "cannot write %s: %s@." path e));
     0
   end
 
@@ -398,10 +467,17 @@ let list_only =
     value & flag
     & info [ "list" ] ~doc:"List the selected benchmark names and exit.")
 
+let json_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the results as JSON to $(docv).")
+
 let () =
   let doc = "Micro-benchmarks for the quorum_nested experiment index" in
   exit
     (Cmd.eval'
        (Cmd.v
           (Cmd.info "bench" ~doc)
-          Term.(const run_benchmarks $ only $ quota $ list_only)))
+          Term.(const run_benchmarks $ only $ quota $ list_only $ json_file)))

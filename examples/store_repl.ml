@@ -1,4 +1,4 @@
-(* A driveable replicated-store shell: five simulated replicas under
+(* A driveable replicated-store shell: simulated replicas under
    majority quorums, controlled by commands on stdin.  Useful for
    poking at quorum behaviour by hand (or from a script).
 
@@ -14,6 +14,13 @@
      policy hedge D     hedge to the remaining replicas after D time units
      policy off         back to fire-once (the default)
      loss P             set the network's message-loss probability
+     shards             show the shard layout
+     shards N [hash|range]
+                        rebuild the world with N shards of 5 replicas
+                        each (all state is reset)
+     batch W            coalesce per-replica requests over a W-unit window
+     batch off          back to unbatched (the default)
+     balance            per-replica load, per-shard totals and spread
      stats              ops / network counters
      metrics            dump the metrics registry
      trace FILE         write the session's Chrome trace (Perfetto)
@@ -30,12 +37,37 @@
 module Core = Sim.Core
 module Net = Sim.Net
 
-let () =
+let replicas_per_shard = 5
+let n_keys = 100 (* bounds the [`Range] partition (keys "k0".."k99") *)
+
+type world = {
+  sim : Core.t;
+  tracer : Obs.Trace.t;
+  metrics : Obs.Metrics.t;
+  net : Store.Protocol.msg Net.t;
+  replicas : Store.Replica.t list;
+  router : Store.Router.t;
+  n_shards : int;
+  scheme : Store.Router.scheme;
+}
+
+(* Build a fresh world: [n_shards] disjoint replica groups of
+   [replicas_per_shard] each, one majority strategy per shard, keys
+   routed by [scheme].  With one shard the construction (names, seeds,
+   labels, handler registration) is exactly the historical
+   single-group shell, so scripted default sessions reproduce byte for
+   byte. *)
+let make_world ~n_shards ~scheme =
   let sim = Core.create ~seed:7 in
   let tracer = Obs.Trace.create ~capacity:65536 () in
   Core.attach_tracer sim tracer;
   let metrics = Obs.Metrics.create () in
-  let replica_names = List.init 5 (fun i -> Fmt.str "r%d" i) in
+  let groups =
+    Array.init n_shards (fun s ->
+        Array.init replicas_per_shard (fun i ->
+            if n_shards = 1 then Fmt.str "r%d" i else Fmt.str "s%d:r%d" s i))
+  in
+  let replica_names = List.concat_map Array.to_list (Array.to_list groups) in
   let net =
     Net.create ~sim
       ~nodes:(replica_names @ [ "client" ])
@@ -43,22 +75,58 @@ let () =
       ()
   in
   let replicas =
-    List.map (fun name -> Store.Replica.create ~metrics ~name ()) replica_names
+    List.map
+      (fun name ->
+        let extra_labels =
+          if n_shards = 1 then []
+          else [ ("shard", String.sub name 1 (String.index name ':' - 1)) ]
+        in
+        Store.Replica.create ~metrics ~name ~extra_labels ())
+      replica_names
   in
   List.iter (fun r -> Store.Replica.attach r ~net) replicas;
-  let client =
-    Store.Client.create ~name:"client" ~sim ~net
-      ~replicas:(Array.of_list replica_names)
-      ~strategy:(Store.Strategy.majority 5)
-      ~timeout:50.0 ~read_repair:true ~metrics ()
+  let router =
+    Store.Router.create ~name:"client" ~sim ~net ~groups
+      ~strategies:
+        (Array.init n_shards (fun _ ->
+             Store.Strategy.majority replicas_per_shard))
+      ~scheme ~n_keys ~timeout:50.0 ~read_repair:true ~metrics ()
   in
-  Store.Client.attach client;
+  Store.Router.attach router;
+  { sim; tracer; metrics; net; replicas; router; n_shards; scheme }
+
+(* shards N [hash|range] — [Ok None] means "just show the layout" *)
+let parse_shards = function
+  | [] -> Ok None
+  | n :: rest -> (
+      match int_of_string_opt n with
+      | None -> Error "shard count must be an integer"
+      | Some n when n < 1 || n > 16 -> Error "shard count must be in [1, 16]"
+      | Some n -> (
+          match rest with
+          | [] -> Ok (Some (n, None))
+          | [ "hash" ] -> Ok (Some (n, Some `Hash))
+          | [ "range" ] -> Ok (Some (n, Some `Range))
+          | _ -> Error "scheme must be 'hash' or 'range'"))
+
+(* batch W | batch off — [Ok None] means "just show the window" *)
+let parse_batch = function
+  | [] -> Ok None
+  | [ "off" ] -> Ok (Some None)
+  | [ w ] -> (
+      match float_of_string_opt w with
+      | Some w when Float.is_finite w && w >= 0.0 -> Ok (Some (Some w))
+      | _ -> Error "window must be a finite number >= 0")
+  | _ -> Error "usage: batch [W | off]"
+
+let () =
+  let w = ref (make_world ~n_shards:1 ~scheme:`Hash) in
   Fmt.pr "replicated store: 5 replicas, majority quorums, read repair on.@.";
   Fmt.pr "type 'help' for commands.@.";
   let run_op f =
     f ();
     (* drive the simulation until the operation resolves *)
-    Core.run sim
+    Core.run !w.sim
   in
   let rec loop () =
     match In_channel.input_line stdin with
@@ -70,9 +138,9 @@ let () =
             (match Sys.getenv_opt "OBS_TRACE" with
             | Some path -> (
                 try
-                  Obs.Export.write_chrome path tracer;
+                  Obs.Export.write_chrome path !w.tracer;
                   Fmt.pr "wrote %d trace events to %s@."
-                    (Obs.Trace.length tracer) path
+                    (Obs.Trace.length !w.tracer) path
                 with Sys_error e -> Fmt.pr "cannot write trace: %s@." e)
             | None -> ());
             Fmt.pr "bye.@."
@@ -80,14 +148,15 @@ let () =
             Fmt.pr
               "put KEY INT | get KEY | crash NODE | recover NODE | cut A B | \
                heal A B | dump | policy [retries N | hedge D | off] | loss P | \
-               stats | metrics | trace FILE | quit@.";
+               shards [N [hash|range]] | batch [W | off] | balance | stats | \
+               metrics | trace FILE | quit@.";
             loop ()
         | [ "put"; key; v ] ->
             (match int_of_string_opt v with
             | None -> Fmt.pr "value must be an integer@."
             | Some value ->
                 run_op (fun () ->
-                    Store.Client.write client ~key ~value
+                    Store.Router.write !w.router ~key ~value
                       ~on_done:(fun ~ok ~vn ~value:_ ~latency ->
                         if ok then
                           Fmt.pr "OK  %s := %d (version %d, %.1f time units)@."
@@ -96,7 +165,7 @@ let () =
             loop ()
         | [ "get"; key ] ->
             run_op (fun () ->
-                Store.Client.read client ~key
+                Store.Router.read !w.router ~key
                   ~on_done:(fun ~ok ~vn ~value ~latency ->
                     if ok then
                       Fmt.pr "OK  %s = %d (version %d, %.1f time units)@." key
@@ -104,19 +173,19 @@ let () =
                     else Fmt.pr "FAIL %s (no read quorum)@." key));
             loop ()
         | [ "crash"; node ] ->
-            Net.crash net node;
+            Net.crash !w.net node;
             Fmt.pr "crashed %s@." node;
             loop ()
         | [ "recover"; node ] ->
-            Net.recover net node;
+            Net.recover !w.net node;
             Fmt.pr "recovered %s@." node;
             loop ()
         | [ "cut"; a; b ] ->
-            Net.cut_link net a b;
+            Net.cut_link !w.net a b;
             Fmt.pr "cut %s <-> %s@." a b;
             loop ()
         | [ "heal"; a; b ] ->
-            Net.heal_link net a b;
+            Net.heal_link !w.net a b;
             Fmt.pr "healed %s <-> %s@." a b;
             loop ()
         | [ "dump" ] ->
@@ -128,9 +197,10 @@ let () =
                     r.Store.Replica.data []
                 in
                 Fmt.pr "%-4s %s %s@." r.Store.Replica.name
-                  (if Net.is_up net r.Store.Replica.name then "up  " else "DOWN")
+                  (if Net.is_up !w.net r.Store.Replica.name then "up  "
+                   else "DOWN")
                   (String.concat " " (List.sort compare state)))
-              replicas;
+              !w.replicas;
             loop ()
         | "policy" :: rest ->
             (* validate before applying: bad values get an error line,
@@ -138,26 +208,28 @@ let () =
             let apply p =
               match Rpc.Policy.validate p with
               | Ok () ->
-                  Store.Client.set_policy client p;
+                  Store.Router.set_policy !w.router p;
                   Fmt.pr "policy: %a@." Rpc.Policy.pp p
               | Error e -> Fmt.pr "invalid policy: %s@." e
             in
             (match rest with
-            | [] -> Fmt.pr "policy: %a@." Rpc.Policy.pp (Store.Client.policy client)
+            | [] ->
+                Fmt.pr "policy: %a@." Rpc.Policy.pp
+                  (Store.Router.policy !w.router)
             | [ "off" ] -> apply Rpc.Policy.default
             | [ "retries"; n ] -> (
                 match int_of_string_opt n with
                 | None -> Fmt.pr "invalid policy: retries takes an integer@."
                 | Some n ->
                     apply
-                      { (Store.Client.policy client) with
+                      { (Store.Router.policy !w.router) with
                         Rpc.Policy.max_attempts = n + 1 })
             | [ "hedge"; d ] -> (
                 match float_of_string_opt d with
                 | None -> Fmt.pr "invalid policy: hedge takes a number@."
                 | Some d ->
                     apply
-                      { (Store.Client.policy client) with
+                      { (Store.Router.policy !w.router) with
                         Rpc.Policy.hedge_delay = Some d })
             | _ ->
                 Fmt.pr "usage: policy [retries N | hedge D | off]@.");
@@ -165,31 +237,98 @@ let () =
         | [ "loss"; p ] ->
             (match float_of_string_opt p with
             | Some p when p >= 0.0 && p < 1.0 ->
-                Net.set_loss net p;
+                Net.set_loss !w.net p;
                 Fmt.pr "loss: %g@." p
             | _ -> Fmt.pr "loss must be a number in [0, 1)@.");
             loop ()
+        | "shards" :: rest ->
+            (match parse_shards rest with
+            | Error e -> Fmt.pr "invalid shards: %s@." e
+            | Ok None ->
+                Fmt.pr "shards: %d (%s), %d replicas each@." !w.n_shards
+                  (Store.Router.scheme_label !w.scheme)
+                  replicas_per_shard
+            | Ok (Some (n, scheme)) ->
+                let scheme = Option.value scheme ~default:!w.scheme in
+                w := make_world ~n_shards:n ~scheme;
+                Fmt.pr
+                  "rebuilt: %d shard%s (%s), %d replicas each — all state \
+                   reset@."
+                  n
+                  (if n = 1 then "" else "s")
+                  (Store.Router.scheme_label scheme)
+                  replicas_per_shard;
+                if n > 1 then
+                  Fmt.pr "replicas are named s<shard>:r<index>, e.g. s0:r0@.");
+            loop ()
+        | "batch" :: rest ->
+            (match parse_batch rest with
+            | Error e -> Fmt.pr "invalid batch: %s@." e
+            | Ok None -> (
+                match Store.Router.batch_window !w.router with
+                | None -> Fmt.pr "batch: off@."
+                | Some win -> Fmt.pr "batch: window %g@." win)
+            | Ok (Some win) ->
+                Store.Router.set_batch_window !w.router win;
+                (match win with
+                | None -> Fmt.pr "batch: off@."
+                | Some win -> Fmt.pr "batch: window %g@." win));
+            loop ()
+        | [ "balance" ] ->
+            let shard_loads =
+              List.init !w.n_shards (fun s ->
+                  let group = Store.Router.replicas !w.router ~shard:s in
+                  let loads =
+                    List.filter
+                      (fun (r : Store.Replica.t) ->
+                        Array.exists (String.equal r.Store.Replica.name) group)
+                      !w.replicas
+                    |> List.map (fun (r : Store.Replica.t) ->
+                           (r.Store.Replica.name, Store.Replica.load r))
+                  in
+                  let total = List.fold_left (fun a (_, l) -> a + l) 0 loads in
+                  Fmt.pr "shard %d: %s | total %d@." s
+                    (String.concat " "
+                       (List.map (fun (n, l) -> Fmt.str "%s=%d" n l) loads))
+                    total;
+                  total)
+            in
+            let total = List.fold_left ( + ) 0 shard_loads in
+            let mean = float_of_int total /. float_of_int !w.n_shards in
+            let imbalance =
+              if total = 0 then 1.0
+              else float_of_int (List.fold_left max 0 shard_loads) /. mean
+            in
+            Fmt.pr "total load %d | shard imbalance (max/mean) %.2f@." total
+              imbalance;
+            loop ()
         | [ "metrics" ] ->
-            Fmt.pr "%s%!" (Obs.Metrics.dump metrics);
+            Fmt.pr "%s%!" (Obs.Metrics.dump !w.metrics);
             loop ()
         | [ "trace"; path ] ->
             (try
-               Obs.Export.write_chrome path tracer;
+               Obs.Export.write_chrome path !w.tracer;
                Fmt.pr "wrote %d trace events to %s (open in chrome://tracing \
                        or ui.perfetto.dev)@."
-                 (Obs.Trace.length tracer) path
+                 (Obs.Trace.length !w.tracer) path
              with Sys_error e -> Fmt.pr "cannot write trace: %s@." e);
             loop ()
         | [ "stats" ] ->
-            let c = Net.counters net in
+            let sum f =
+              Array.fold_left
+                (fun acc c -> acc + Obs.Metrics.value (f c))
+                0
+                (Store.Router.clients !w.router)
+            in
+            let c = Net.counters !w.net in
             Fmt.pr "ops ok=%d failed=%d repairs=%d | msgs sent=%d delivered=%d \
                     dropped=%d (sender_down=%d dest_down=%d link_cut=%d \
                     loss=%d) | sim time %.1f@."
-              (Obs.Metrics.value client.Store.Client.ops_ok)
-              (Obs.Metrics.value client.ops_failed)
-              (Obs.Metrics.value client.repairs_sent)
+              (sum (fun c -> c.Store.Client.ops_ok))
+              (sum (fun c -> c.Store.Client.ops_failed))
+              (sum (fun c -> c.Store.Client.repairs_sent))
               c.Net.sent c.delivered c.dropped c.drop_sender_down
-              c.drop_dest_down c.drop_link_cut c.drop_loss (Core.now sim);
+              c.drop_dest_down c.drop_link_cut c.drop_loss (Core.now !w.sim);
             loop ()
         | _ ->
             Fmt.pr "unknown command (try 'help')@.";

@@ -13,6 +13,18 @@ module Prng = Qc_util.Prng
 
 type verdict = Continue | Done
 
+(** Multi-key batching: how to wrap several outgoing requests for one
+    destination into a single wire message, and how to recognise and
+    split an incoming batch reply.  The window is the coalescing
+    delay: the first enqueued send arms a flush timer, and everything
+    queued for the same destination before it fires travels in one
+    frame. *)
+type 'msg batching = {
+  window : float;
+  wrap : rid:int -> 'msg list -> 'msg;
+  unwrap : 'msg -> 'msg list option;
+}
+
 type op = {
   mutable o_live : bool;
   o_started : float;
@@ -23,6 +35,8 @@ and packed_call = Call : 'msg call -> packed_call
 
 and 'msg call = {
   rid : int;
+  stamp : int;  (** unique per call — distinguishes a closing call
+                    from a successor that reused its rid *)
   c_op : op;
   targets : string array;
   heard : bool array;  (** per-target: a reply arrived (skip on resend) *)
@@ -47,11 +61,23 @@ type 'msg t = {
       (** jitter only — never the simulator's PRNG, so retry schedules
           cannot perturb loss/latency draws elsewhere *)
   mutable next_rid : int;
+  mutable next_stamp : int;
   pending : (int, 'msg call) Hashtbl.t;
+  metrics : Obs.Metrics.t;
+  labels : (string * string) list;
   m_retries : Obs.Metrics.counter;
   m_hedges : Obs.Metrics.counter;
   m_exhausted : Obs.Metrics.counter;
   m_op_timeouts : Obs.Metrics.counter;
+  mutable batching : 'msg batching option;
+  mutable unbatch : ('msg -> 'msg list option) option;
+      (** retained after batching is switched off, so batch replies
+          still in flight keep unwrapping *)
+  mutable outq : (string * 'msg) list;  (** reversed send queue *)
+  mutable flush_armed : bool;
+  mutable m_batch_size : Obs.Metrics.histogram option;
+      (** created lazily on first enable — a never-batching engine
+          registers no extra instruments *)
 }
 
 let check_policy p =
@@ -60,12 +86,12 @@ let check_policy p =
   | Error e -> invalid_arg (Fmt.str "Rpc.Engine: invalid policy: %s" e)
 
 let create ~name ~sim ~net ~rid_of ?(policy = Policy.default) ?(cat = "rpc")
-    ?(seed = 1) ?metrics () =
+    ?(seed = 1) ?metrics ?(extra_labels = []) () =
   check_policy policy;
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
-  let labels = [ ("client", name) ] in
+  let labels = ("client", name) :: extra_labels in
   {
     name;
     sim;
@@ -75,11 +101,19 @@ let create ~name ~sim ~net ~rid_of ?(policy = Policy.default) ?(cat = "rpc")
     cat;
     rng = Prng.create seed;
     next_rid = 0;
+    next_stamp = 0;
     pending = Hashtbl.create 16;
+    metrics;
+    labels;
     m_retries = Obs.Metrics.counter metrics ~labels "rpc.retries";
     m_hedges = Obs.Metrics.counter metrics ~labels "rpc.hedges";
     m_exhausted = Obs.Metrics.counter metrics ~labels "rpc.exhausted";
     m_op_timeouts = Obs.Metrics.counter metrics ~labels "rpc.op_timeouts";
+    batching = None;
+    unbatch = None;
+    outq = [];
+    flush_armed = false;
+    m_batch_size = None;
   }
 
 let name t = t.name
@@ -96,6 +130,86 @@ let fresh_rid t =
 
 let pending_count t = Hashtbl.length t.pending
 let tracer t = Core.tracer t.sim
+
+(* ---------- batching ---------- *)
+
+let flush t =
+  t.flush_armed <- false;
+  let queued = List.rev t.outq in
+  t.outq <- [];
+  match t.batching with
+  | None ->
+      (* batching switched off with sends still queued: let them go
+         out unwrapped rather than stranding them *)
+      List.iter (fun (dst, m) -> Net.send t.net ~src:t.name ~dst m) queued
+  | Some b ->
+      (* group per destination, preserving first-appearance order so
+         the flush is deterministic *)
+      let order = ref [] in
+      let by_dst : (string, 'msg list ref) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (dst, m) ->
+          match Hashtbl.find_opt by_dst dst with
+          | Some l -> l := m :: !l
+          | None ->
+              Hashtbl.replace by_dst dst (ref [ m ]);
+              order := dst :: !order)
+        queued;
+      List.iter
+        (fun dst ->
+          let msgs = List.rev !(Hashtbl.find by_dst dst) in
+          (match t.m_batch_size with
+          | Some h -> Obs.Metrics.observe h (float_of_int (List.length msgs))
+          | None -> ());
+          match msgs with
+          | [ m ] -> Net.send t.net ~src:t.name ~dst m
+          | ms ->
+              let rid = fresh_rid t in
+              let tr = tracer t in
+              if Obs.Trace.enabled tr then
+                Obs.Trace.instant tr ~cat:t.cat ~name:"batch" ~track:t.name
+                  ~args:
+                    [
+                      ("dst", Obs.Trace.Str dst);
+                      ("size", Obs.Trace.Int (List.length ms));
+                      ("rid", Obs.Trace.Int rid);
+                    ]
+                  ();
+              Net.send t.net ~src:t.name ~dst ~payloads:(List.length ms)
+                (b.wrap ~rid ms))
+        (List.rev !order)
+
+(* Every outgoing request funnels through here: with batching off it
+   is exactly the historical [Net.send]; with batching on the send is
+   queued and the first enqueue arms one flush timer per window. *)
+let dispatch t ~dst msg =
+  match t.batching with
+  | None -> Net.send t.net ~src:t.name ~dst msg
+  | Some b ->
+      t.outq <- (dst, msg) :: t.outq;
+      if not t.flush_armed then begin
+        t.flush_armed <- true;
+        Core.schedule t.sim ~delay:b.window (fun () -> flush t)
+      end
+
+let batching t = t.batching
+
+let set_batching t b =
+  (match b with
+  | Some bb ->
+      if (not (Float.is_finite bb.window)) || bb.window < 0.0 then
+        invalid_arg "Rpc.Engine.set_batching: window must be finite and >= 0";
+      t.unbatch <- Some bb.unwrap;
+      (match t.m_batch_size with
+      | Some _ -> ()
+      | None ->
+          t.m_batch_size <-
+            Some
+              (Obs.Metrics.histogram t.metrics ~labels:t.labels
+                 ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |]
+                 "rpc.batch_size"))
+  | None -> ());
+  t.batching <- b
 
 (* Attempt spans exist to see retries and hedges; a fire-once call
    emits nothing, keeping default-policy traces byte-identical. *)
@@ -124,7 +238,11 @@ let end_attempt_span t (c : 'msg call) ~outcome =
 let close_call t (c : 'msg call) ~outcome =
   if not c.closed then begin
     c.closed <- true;
-    Hashtbl.remove t.pending c.rid;
+    (* remove only our own binding: a caller may reuse the rid for a
+       successor call registered before this one closes *)
+    (match Hashtbl.find_opt t.pending c.rid with
+    | Some c' when c'.stamp = c.stamp -> Hashtbl.remove t.pending c.rid
+    | _ -> ());
     end_attempt_span t c ~outcome
   end
 
@@ -157,8 +275,7 @@ let call_live (c : 'msg call) = (not c.closed) && c.c_op.o_live
 
 let send_range t (c : 'msg call) lo hi =
   for i = lo to hi - 1 do
-    if not c.heard.(i) then
-      Net.send t.net ~src:t.name ~dst:c.targets.(i) (c.make c.rid)
+    if not c.heard.(i) then dispatch t ~dst:c.targets.(i) (c.make c.rid)
   done
 
 let rec arm_attempt_timer t (c : 'msg call) =
@@ -214,9 +331,12 @@ let call t ~op ?rid ~targets ?fanout ~make ~on_reply
   let targets = Array.of_list targets in
   let n = Array.length targets in
   let fanout = match fanout with Some f -> max 1 (min f n) | None -> n in
+  let stamp = t.next_stamp in
+  t.next_stamp <- stamp + 1;
   let c =
     {
       rid;
+      stamp;
       c_op = op;
       targets;
       heard = Array.make n false;
@@ -248,7 +368,7 @@ let target_index (c : 'msg call) src =
   in
   go 0
 
-let handle t ~src msg =
+let handle_one t ~src msg =
   match Hashtbl.find_opt t.pending (t.rid_of msg) with
   | None -> () (* stale reply for a finished or superseded call *)
   | Some c when not (call_live c) -> ()
@@ -264,6 +384,16 @@ let handle t ~src msg =
       match c.on_reply ~src msg with
       | Continue -> ()
       | Done -> close_call t c ~outcome:"done")
+
+(* Batch replies split into their per-key parts; each part dispatches
+   against the pending table under its own original rid. *)
+let rec handle t ~src msg =
+  match t.unbatch with
+  | Some unwrap -> (
+      match unwrap msg with
+      | Some inner -> List.iter (fun m -> handle t ~src m) inner
+      | None -> handle_one t ~src msg)
+  | None -> handle_one t ~src msg
 
 let attach t =
   Net.register t.net ~node:t.name (fun ~src msg -> handle t ~src msg)

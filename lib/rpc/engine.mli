@@ -32,6 +32,26 @@ type verdict =
   | Continue  (** keep gathering replies *)
   | Done  (** the accumulated reply set satisfies the predicate *)
 
+type 'msg batching = {
+  window : float;
+      (** coalescing window in simulated time units; the first send
+          queued arms one flush timer, everything queued before it
+          fires shares the wave *)
+  wrap : rid:int -> 'msg list -> 'msg;
+      (** build the batch frame around [>= 2] requests for one
+          destination; the rid is fresh and identifies the frame, the
+          wrapped requests keep their own rids *)
+  unwrap : 'msg -> 'msg list option;
+      (** split an incoming batch reply into its per-request parts;
+          [None] for ordinary messages *)
+}
+(** Multi-key batching (see {!set_batching}): distinct calls' requests
+    to the same destination inside one window travel as a single wire
+    message, and each wrapped reply still completes its own call
+    through the pending table.  Latency cost: up to [window] of queue
+    delay per request.  Message gain: one frame per destination per
+    window, however many keys are in flight. *)
+
 type 'msg t
 
 type op
@@ -48,6 +68,7 @@ val create :
   ?cat:string ->
   ?seed:int ->
   ?metrics:Obs.Metrics.t ->
+  ?extra_labels:(string * string) list ->
   unit ->
   'msg t
 (** An engine for node [name] on [net].  [rid_of] projects the request
@@ -55,11 +76,28 @@ val create :
     trace category for the engine's events (default ["rpc"]; the store
     client passes ["store"] so its traces keep their historical
     shape).  [seed] seeds the jitter PRNG.  [metrics] defaults to a
-    private registry.
+    private registry.  [extra_labels] are appended to the engine's
+    metric labels after [("client", name)] — e.g. a shard label when
+    several engines serve one logical client.
     @raise Invalid_argument if [policy] fails {!Policy.validate}. *)
 
 val attach : 'msg t -> unit
 (** Register the engine's reply dispatcher as [name]'s net handler. *)
+
+val handle : 'msg t -> src:string -> 'msg -> unit
+(** Dispatch one incoming message by hand — for layers (e.g. a shard
+    router) that own the node's net handler and demultiplex to several
+    engines.  Batch replies are split and dispatched per part. *)
+
+val set_batching : 'msg t -> 'msg batching option -> unit
+(** Enable ([Some b]) or disable ([None]) multi-key batching for sends
+    issued after the call.  The default is off, which keeps the send
+    path byte-identical to historical runs; enabling registers an
+    [rpc.batch_size] histogram.  Disabling keeps the unwrap function,
+    so batch replies still in flight complete normally.
+    @raise Invalid_argument if the window is negative or not finite. *)
+
+val batching : 'msg t -> 'msg batching option
 
 val name : 'msg t -> string
 val policy : 'msg t -> Policy.t

@@ -34,6 +34,8 @@ type 'msg t = {
   cut_links : (string * string, bool) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
+  mutable payload_sent : int;
+  mutable payload_delivered : int;
   mutable drop_sender_down : int;
   mutable drop_dest_down : int;
   mutable drop_link_cut : int;
@@ -60,6 +62,8 @@ let create ~(sim : Core.t) ~nodes ?(latency = uniform_latency ~lo:1.0 ~hi:5.0)
       cut_links = Hashtbl.create 16;
       sent = 0;
       delivered = 0;
+      payload_sent = 0;
+      payload_delivered = 0;
       drop_sender_down = 0;
       drop_dest_down = 0;
       drop_link_cut = 0;
@@ -116,9 +120,13 @@ let drop t ~src ~dst reason =
         ]
       ()
 
-(** Send a message; it may or may not arrive. *)
-let send t ~src ~dst (msg : 'msg) =
+(** Send a message; it may or may not arrive.  [payloads] is the
+    number of logical requests the message carries — 1 for ordinary
+    messages, the batch size for batch frames — so experiments can
+    report wire messages and logical payloads separately. *)
+let send t ~src ~dst ?(payloads = 1) (msg : 'msg) =
   t.sent <- t.sent + 1;
+  t.payload_sent <- t.payload_sent + payloads;
   let rng = Core.rng t.sim in
   let tr = tracer t in
   if Obs.Trace.enabled tr then
@@ -137,6 +145,7 @@ let send t ~src ~dst (msg : 'msg) =
           match Hashtbl.find_opt t.handlers dst with
           | Some h ->
               t.delivered <- t.delivered + 1;
+              t.payload_delivered <- t.payload_delivered + payloads;
               if Obs.Trace.enabled tr then
                 Obs.Trace.instant tr ~cat:"net" ~name:"deliver" ~track:dst
                   ~args:
@@ -152,6 +161,10 @@ let send t ~src ~dst (msg : 'msg) =
 type counters = {
   sent : int;
   delivered : int;
+  payload_sent : int;
+      (** logical requests sent — equals [sent] unless batching wraps
+          several payloads into one wire message *)
+  payload_delivered : int;
   dropped : int;  (** total over every reason *)
   drop_sender_down : int;
   drop_dest_down : int;
@@ -163,6 +176,8 @@ let counters (t : 'msg t) =
   {
     sent = t.sent;
     delivered = t.delivered;
+    payload_sent = t.payload_sent;
+    payload_delivered = t.payload_delivered;
     dropped =
       t.drop_sender_down + t.drop_dest_down + t.drop_link_cut + t.drop_loss;
     drop_sender_down = t.drop_sender_down;

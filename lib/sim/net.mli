@@ -40,13 +40,21 @@ val cut_link : 'msg t -> string -> string -> unit
 val heal_link : 'msg t -> string -> string -> unit
 val link_cut : 'msg t -> string -> string -> bool
 
-val send : 'msg t -> src:string -> dst:string -> 'msg -> unit
+val send :
+  'msg t -> src:string -> dst:string -> ?payloads:int -> 'msg -> unit
 (** Dropped when the sender is down at send time, the destination is
-    down at delivery time, the link is cut, or the loss coin fires. *)
+    down at delivery time, the link is cut, or the loss coin fires.
+    [payloads] (default 1) is the number of logical requests the
+    message carries — batch frames pass their batch size so the
+    payload counters keep counting logical work. *)
 
 type counters = {
   sent : int;
   delivered : int;
+  payload_sent : int;
+      (** logical requests sent — equals [sent] unless batching wraps
+          several payloads into one wire message *)
+  payload_delivered : int;
   dropped : int;  (** total over every reason *)
   drop_sender_down : int;
   drop_dest_down : int;

@@ -66,6 +66,15 @@ type t = {
           anti-entropy riding on the read path *)
   targeting : targeting;
   rng : Prng.t;  (** quorum choice in [`Quorum] mode *)
+  own_vns : (string, int) Hashtbl.t;
+      (** highest version this client has ever issued per key.  A
+          write that times out after installing at a minority leaves
+          residue at its version; the next write's read quorum need
+          not see uncommitted residue and would re-issue the same
+          version with a different value.  Under the single-writer
+          discipline the writer's own memory is authoritative, so
+          taking [max quorum_vn own_vn + 1] keeps versions unique —
+          the role Gifford's coordinator timestamps play. *)
   repairs_sent : Obs.Metrics.counter;
   ops_ok : Obs.Metrics.counter;
   ops_failed : Obs.Metrics.counter;
@@ -77,11 +86,16 @@ let tracer t = Core.tracer t.sim
 
 let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
     ?(read_repair = false) ?(targeting = `Broadcast) ?policy ?(seed = 1)
-    ?metrics () =
+    ?metrics ?shard ?batch_window () =
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
-  let labels = [ ("client", name) ] in
+  let extra_labels =
+    match shard with
+    | Some s -> [ ("shard", string_of_int s) ]
+    | None -> []
+  in
+  let labels = ("client", name) :: extra_labels in
   let repairs_sent =
     Obs.Metrics.counter metrics ~labels "store.client.repairs_sent"
   in
@@ -101,8 +115,11 @@ let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
   in
   let eng =
     Engine.create ~name ~sim ~net ~rid_of:Protocol.rid ?policy ~cat:"store"
-      ~seed ~metrics ()
+      ~seed ~metrics ~extra_labels ()
   in
+  (match batch_window with
+  | Some w -> Engine.set_batching eng (Some (Protocol.batching ~window:w))
+  | None -> ());
   {
     name;
     sim;
@@ -114,6 +131,7 @@ let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
     read_repair;
     targeting;
     rng = Prng.create seed;
+    own_vns = Hashtbl.create 16;
     repairs_sent;
     ops_ok;
     ops_failed;
@@ -123,6 +141,13 @@ let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
 
 let set_policy t p = Engine.set_policy t.eng p
 let policy t = Engine.policy t.eng
+
+let set_batch_window t w =
+  Engine.set_batching t.eng
+    (Option.map (fun window -> Protocol.batching ~window) w)
+
+let batch_window t =
+  Option.map (fun b -> b.Engine.window) (Engine.batching t.eng)
 
 let replica_index t name =
   let rec go i =
@@ -252,7 +277,11 @@ and start_install t (p : pending) ~value =
   p.phase <- PInstall;
   p.rid <- rid;
   p.mask <- 0;
-  let vn = p.best_vn + 1 in
+  let own =
+    Option.value ~default:0 (Hashtbl.find_opt t.own_vns p.key)
+  in
+  let vn = max p.best_vn own + 1 in
+  Hashtbl.replace t.own_vns p.key vn;
   p.best_vn <- vn;
   p.best_value <- value;
   gather t p ~rid ~side:`Write (fun rid ->
@@ -267,6 +296,10 @@ and gather t (p : pending) ~rid ~side make =
 
 (** Attach the client's reply handler to the network. *)
 let attach t = Engine.attach t.eng
+
+(** Dispatch one incoming reply by hand — for the shard router, which
+    owns the node's net handler and demultiplexes to shard clients. *)
+let handle t ~src msg = Engine.handle t.eng ~src msg
 
 let start_op t ~key ~phase ~on_done =
   let rid = Engine.fresh_rid t.eng in

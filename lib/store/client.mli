@@ -29,6 +29,10 @@ type t = {
           replicas they observed — anti-entropy on the read path *)
   targeting : targeting;
   rng : Qc_util.Prng.t;
+  own_vns : (string, int) Hashtbl.t;
+      (** highest version issued per key — the single writer never
+          reuses a version, even past a timed-out install that left
+          residue at a minority (the coordinator-timestamp role) *)
   repairs_sent : Obs.Metrics.counter;
   ops_ok : Obs.Metrics.counter;
   ops_failed : Obs.Metrics.counter;
@@ -48,11 +52,17 @@ val create :
   ?policy:Rpc.Policy.t ->
   ?seed:int ->
   ?metrics:Obs.Metrics.t ->
+  ?shard:int ->
+  ?batch_window:float ->
   unit ->
   t
 (** [metrics] defaults to a private registry; pass a shared one to
     aggregate a whole cluster.  [policy] (default {!Rpc.Policy.default},
     fire-once) governs per-request retries, backoff and hedging.
+    [shard] adds a [("shard", i)] label to the client's and engine's
+    metrics — set by the router when several clients serve one logical
+    node.  [batch_window] enables multi-key batching on the engine
+    (see {!Rpc.Engine.set_batching}); off by default.
     Every operation is traced as a span on the simulator's tracer
     (begin at issue, end at quorum/timeout), with reply / phase-switch
     / timeout instants in between. *)
@@ -64,8 +74,19 @@ val set_policy : t -> Rpc.Policy.t -> unit
 
 val policy : t -> Rpc.Policy.t
 
+val set_batch_window : t -> float option -> unit
+(** Enable ([Some window]) or disable ([None]) multi-key batching for
+    subsequently issued requests.
+    @raise Invalid_argument if the window is negative or not finite. *)
+
+val batch_window : t -> float option
+
 val attach : t -> unit
 (** Install the client's reply handler on the network. *)
+
+val handle : t -> src:string -> Protocol.msg -> unit
+(** Dispatch one incoming reply by hand — for layers (the shard
+    router) that own the node's net handler. *)
 
 val read :
   t -> key:string ->

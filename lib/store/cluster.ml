@@ -9,16 +9,23 @@
     began, with the value that was actually written at that version.
     Quorum intersection is exactly what makes this hold across
     failures; a configuration without intersection (or a protocol bug)
-    fails the audit. *)
+    fails the audit.  Sharding does not weaken it: quorums intersect
+    per key inside the key's own replica group, so the audit runs
+    unchanged over any shard count.
+
+    Each client is a {!Router} over [n_shards] replica groups of
+    [n_replicas] each.  The defaults — one shard, no batching, burst 1
+    — construct and schedule exactly the historical single-group
+    cluster, byte for byte. *)
 
 module Prng = Qc_util.Prng
 module Core = Sim.Core
 module Net = Sim.Net
 
 type params = {
-  n_replicas : int;
+  n_replicas : int;  (** per shard *)
   n_clients : int;
-  strategy : int -> Strategy.t;  (** from n_replicas *)
+  strategy : int -> Strategy.t;  (** from n_replicas, per shard *)
   workload : Workload.spec;
   latency : Net.latency;
   loss : float;
@@ -39,6 +46,19 @@ type params = {
       (** use this tracer instead of creating one — e.g. to collect
           several runs, or a cluster run plus an IOA run, in one
           trace; overrides [trace_capacity] *)
+  n_shards : int;
+      (** replica groups the keyspace is split across (default 1 — the
+          historical single-group cluster) *)
+  shard_scheme : Router.scheme;  (** key → shard map (default [`Hash]) *)
+  batch_window : float option;
+      (** multi-key batching window of every client engine; [None]
+          (default) sends every request unbatched, byte-identically to
+          historical runs *)
+  shard_kill : (int * float) option;
+      (** targeted-failure nemesis: crash every replica of shard [s]
+          at time [at] for the rest of the run — the blast-radius
+          experiment (only the killed shard's keys become
+          unavailable) *)
 }
 
 let default_params =
@@ -57,12 +77,23 @@ let default_params =
     seed = 42;
     trace_capacity = 0;
     tracer = None;
+    n_shards = 1;
+    shard_scheme = `Hash;
+    batch_window = None;
+    shard_kill = None;
   }
 
 type audit_entry = {
   vn : int;
   value : int;
   completed_at : float;
+}
+
+type shard_stat = {
+  shard : int;
+  ok_ops : int;
+  failed_ops : int;
+  load : int;  (** queries + installs over the shard's replicas *)
 }
 
 type results = {
@@ -76,6 +107,7 @@ type results = {
   replica_loads : (string * int) list;
       (** queries + installs processed per replica — the "load"
           dimension quorum targeting tunes *)
+  shards : shard_stat list;  (** per-shard operations and load *)
   audit_violations : string list;
   duration : float;
   trace : Obs.Trace.t;
@@ -90,6 +122,7 @@ let availability r =
   if ok + bad = 0 then nan else float_of_int ok /. float_of_int (ok + bad)
 
 let run (p : params) : results =
+  if p.n_shards < 1 then invalid_arg "Cluster.run: n_shards must be >= 1";
   let sim = Core.create ~seed:p.seed in
   let tracer =
     match p.tracer with
@@ -100,20 +133,46 @@ let run (p : params) : results =
   in
   Core.attach_tracer sim tracer;
   let metrics = Obs.Metrics.create () in
-  let replica_names = List.init p.n_replicas (fun i -> Fmt.str "r%d" i) in
+  (* one shard keeps the historical flat names (and seeded runs
+     byte-identical); several shards qualify them *)
+  let group_names =
+    if p.n_shards = 1 then
+      [| Array.init p.n_replicas (fun i -> Fmt.str "r%d" i) |]
+    else
+      Array.init p.n_shards (fun s ->
+          Array.init p.n_replicas (fun i -> Fmt.str "s%d:r%d" s i))
+  in
+  let replica_names =
+    Array.to_list group_names |> List.concat_map Array.to_list
+  in
+  let n_total_replicas = p.n_shards * p.n_replicas in
   let client_names = List.init p.n_clients (fun i -> Fmt.str "c%d" i) in
   let net =
     Net.create ~sim ~nodes:(replica_names @ client_names) ~latency:p.latency
       ~loss:p.loss ()
   in
   let replicas =
-    List.map (fun name -> Replica.create ~metrics ~name ()) replica_names
+    Array.mapi
+      (fun s group ->
+        let extra_labels =
+          if p.n_shards = 1 then []
+          else [ ("shard", string_of_int s) ]
+        in
+        Array.map (fun name -> Replica.create ~metrics ~extra_labels ~name ()) group)
+      group_names
   in
-  List.iter (fun r -> Replica.attach r ~net) replicas;
+  Array.iter (Array.iter (fun r -> Replica.attach r ~net)) replicas;
   let strategy = p.strategy p.n_replicas in
+  let strategies = Array.make p.n_shards strategy in
+  let shard_of =
+    Router.shard_fn p.shard_scheme ~n_shards:p.n_shards
+      ~n_keys:p.workload.Workload.n_keys
+  in
   let read_lat = Sim.Stats.create () and write_lat = Sim.Stats.create () in
   let ok_reads = ref 0 and failed_reads = ref 0 in
   let ok_writes = ref 0 and failed_writes = ref 0 in
+  let shard_ok = Array.make p.n_shards 0 in
+  let shard_failed = Array.make p.n_shards 0 in
   (* audit state *)
   let completed_writes : (string, audit_entry list) Hashtbl.t =
     Hashtbl.create 64
@@ -125,81 +184,132 @@ let run (p : params) : results =
     List.mapi
       (fun ci name ->
         let c =
-          Client.create ~name ~sim ~net
-            ~replicas:(Array.of_list replica_names)
-            ~strategy ~timeout:p.timeout ~targeting:p.targeting
-            ~policy:p.policy ~seed:(p.seed + ci) ~metrics ()
+          Router.create ~name ~sim ~net ~groups:group_names ~strategies
+            ~scheme:p.shard_scheme ~n_keys:p.workload.Workload.n_keys
+            ~timeout:p.timeout ~targeting:p.targeting ~policy:p.policy
+            ~seed:(p.seed + ci) ~metrics ?batch_window:p.batch_window ()
         in
-        Client.attach c;
+        Router.attach c;
         (ci, c))
       client_names
   in
   let wrng = Prng.create (p.seed lxor 0xabcdef) in
-  (* closed-loop driver per client *)
-  let rec issue ci (c : Client.t) remaining op_counter =
+  (* one completed logical operation, with its audit bookkeeping;
+     [k] continues the client's loop *)
+  let run_read (c : Router.t) key ~k =
+    let started = Core.now sim in
+    Router.read c ~key ~on_done:(fun ~ok ~vn ~value ~latency ->
+        let s = shard_of key in
+        if ok then begin
+          incr ok_reads;
+          shard_ok.(s) <- shard_ok.(s) + 1;
+          Sim.Stats.add read_lat latency;
+          (* audit: newest write completed before we started *)
+          let prior =
+            List.filter
+              (fun e -> e.completed_at <= started)
+              (Option.value ~default:[]
+                 (Hashtbl.find_opt completed_writes key))
+          in
+          let newest = List.fold_left (fun m e -> max m e.vn) 0 prior in
+          if vn < newest then
+            note "stale read of %s: returned vn %d < completed vn %d" key vn
+              newest;
+          (* the value must be what was written at that vn *)
+          if vn > 0 then
+            match
+              List.find_opt
+                (fun e -> e.vn = vn)
+                (Option.value ~default:[]
+                   (Hashtbl.find_opt completed_writes key))
+            with
+            | Some e when e.value <> value ->
+                note "corrupt read of %s: vn %d has %d, read %d" key vn e.value
+                  value
+            | _ -> ()
+        end
+        else begin
+          incr failed_reads;
+          shard_failed.(s) <- shard_failed.(s) + 1
+        end;
+        k ())
+  in
+  let run_write (c : Router.t) key v ~k =
+    Router.write c ~key ~value:v ~on_done:(fun ~ok ~vn ~value:_ ~latency ->
+        let s = shard_of key in
+        if ok then begin
+          incr ok_writes;
+          shard_ok.(s) <- shard_ok.(s) + 1;
+          Sim.Stats.add write_lat latency;
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt completed_writes key)
+          in
+          (* single-writer-per-key: versions must increase *)
+          List.iter
+            (fun e ->
+              if e.vn >= vn then
+                note "non-monotonic write to %s: vn %d after %d" key vn e.vn)
+            prev;
+          Hashtbl.replace completed_writes key
+            ({ vn; value = v; completed_at = Core.now sim } :: prev)
+        end
+        else begin
+          incr failed_writes;
+          shard_failed.(s) <- shard_failed.(s) + 1
+        end;
+        k ())
+  in
+  (* closed-loop driver per client: think, then issue [burst]
+     operations concurrently and wait for the whole burst (burst 1 is
+     the historical strictly-closed loop, draw for draw) *)
+  let burst = max 1 p.workload.Workload.burst in
+  let rec issue ci (c : Router.t) remaining op_counter =
     if remaining > 0 then
       let think = Prng.exponential wrng ~mean:p.workload.Workload.think_time in
       Core.schedule sim ~delay:think (fun () ->
-          match
-            Workload.next_op p.workload z wrng ~ci
-              ~n_clients:p.n_clients ~op_counter
-          with
-          | Workload.Read key ->
-              let started = Core.now sim in
-              Client.read c ~key ~on_done:(fun ~ok ~vn ~value ~latency ->
-                  if ok then begin
-                    incr ok_reads;
-                    Sim.Stats.add read_lat latency;
-                    (* audit: newest write completed before we started *)
-                    let prior =
-                      List.filter
-                        (fun e -> e.completed_at <= started)
-                        (Option.value ~default:[]
-                           (Hashtbl.find_opt completed_writes key))
-                    in
-                    let newest =
-                      List.fold_left (fun m e -> max m e.vn) 0 prior
-                    in
-                    if vn < newest then
-                      note
-                        "stale read of %s: returned vn %d < completed vn %d"
-                        key vn newest;
-                    (* the value must be what was written at that vn *)
-                    if vn > 0 then
-                      match
-                        List.find_opt
-                          (fun e -> e.vn = vn)
-                          (Option.value ~default:[]
-                             (Hashtbl.find_opt completed_writes key))
-                      with
-                      | Some e when e.value <> value ->
-                          note "corrupt read of %s: vn %d has %d, read %d" key
-                            vn e.value value
-                      | _ -> ()
-                  end
-                  else incr failed_reads;
-                  issue ci c (remaining - 1) (op_counter + 1))
-          | Workload.Write (key, v) ->
-              Client.write c ~key ~value:v ~on_done:(fun ~ok ~vn ~value:_ ~latency ->
-                  if ok then begin
-                    incr ok_writes;
-                    Sim.Stats.add write_lat latency;
-                    let prev =
-                      Option.value ~default:[]
-                        (Hashtbl.find_opt completed_writes key)
-                    in
-                    (* single-writer-per-key: versions must increase *)
-                    List.iter
-                      (fun e ->
-                        if e.vn >= vn then
-                          note "non-monotonic write to %s: vn %d after %d" key
-                            vn e.vn)
-                      prev;
-                    Hashtbl.replace completed_writes key
-                      ({ vn; value = v; completed_at = Core.now sim } :: prev)
-                  end
-                  else incr failed_writes;
-                  issue ci c (remaining - 1) (op_counter + 1)))
+          if burst = 1 then
+            let k () = issue ci c (remaining - 1) (op_counter + 1) in
+            match
+              Workload.next_op p.workload z wrng ~ci ~n_clients:p.n_clients
+                ~op_counter
+            with
+            | Workload.Read key -> run_read c key ~k
+            | Workload.Write (key, v) -> run_write c key v ~k
+          else begin
+            let b = min burst remaining in
+            let ops =
+              List.init b (fun j ->
+                  Workload.next_op p.workload z wrng ~ci
+                    ~n_clients:p.n_clients ~op_counter:(op_counter + j))
+            in
+            (* single-writer-per-key holds between bursts but not
+               within one: demote a repeat write to the same key to a
+               read so concurrent same-key writes never race *)
+            let seen_writes = Hashtbl.create 4 in
+            let ops =
+              List.map
+                (function
+                  | Workload.Read _ as op -> op
+                  | Workload.Write (key, v) as op ->
+                      if Hashtbl.mem seen_writes key then Workload.Read key
+                      else begin
+                        Hashtbl.replace seen_writes key ();
+                        ignore v;
+                        op
+                      end)
+                ops
+            in
+            let outstanding = ref b in
+            let k () =
+              decr outstanding;
+              if !outstanding = 0 then issue ci c (remaining - b) (op_counter + b)
+            in
+            List.iter
+              (function
+                | Workload.Read key -> run_read c key ~k
+                | Workload.Write (key, v) -> run_write c key v ~k)
+              ops
+          end)
   in
   List.iter
     (fun (ci, c) -> issue ci c p.workload.Workload.ops_per_client ci)
@@ -208,8 +318,7 @@ let run (p : params) : results =
   (match p.failures with
   | Some spec ->
       List.iter
-        (fun node ->
-          Sim.Failure.attach ~sim ~net ~node ~spec ~until:1e9 ())
+        (fun node -> Sim.Failure.attach ~sim ~net ~node ~spec ~until:1e9 ())
         replica_names
   | None -> ());
   (* partition nemesis *)
@@ -233,7 +342,7 @@ let run (p : params) : results =
         Core.schedule sim ~delay:(Prng.exponential nrng ~mean) (fun () ->
             (* random non-trivial bipartition of the replicas *)
             let shuffled = Prng.shuffle nrng replica_names in
-            let k = 1 + Prng.int nrng (p.n_replicas - 1) in
+            let k = 1 + Prng.int nrng (n_total_replicas - 1) in
             let side_a = List.filteri (fun i _ -> i < k) shuffled in
             let side_b = List.filteri (fun i _ -> i >= k) shuffled in
             (* clients land on a random side *)
@@ -262,7 +371,32 @@ let run (p : params) : results =
       in
       nemesis 64
   | None -> ());
+  (* targeted shard-kill nemesis *)
+  (match p.shard_kill with
+  | Some (s, at) when s >= 0 && s < p.n_shards ->
+      Core.schedule sim ~delay:at (fun () ->
+          if Obs.Trace.enabled tracer then
+            Obs.Trace.instant tracer ~cat:"store" ~name:"nemesis.shard_kill"
+              ~track:"nemesis"
+              ~args:[ ("shard", Obs.Trace.Int s) ]
+              ();
+          Array.iter (fun r -> Net.crash net r) group_names.(s))
+  | Some (s, _) -> invalid_arg (Fmt.str "Cluster.run: shard_kill shard %d out of range" s)
+  | None -> ());
   Core.run sim;
+  let shard_stats =
+    List.init p.n_shards (fun s ->
+        {
+          shard = s;
+          ok_ops = shard_ok.(s);
+          failed_ops = shard_failed.(s);
+          load =
+            Array.fold_left
+              (fun acc r -> acc + Replica.load r)
+              0
+              replicas.(s);
+        })
+  in
   {
     reads = Sim.Stats.summarize read_lat;
     writes = Sim.Stats.summarize write_lat;
@@ -272,7 +406,9 @@ let run (p : params) : results =
     failed_writes = !failed_writes;
     net = Net.counters net;
     replica_loads =
-      List.map (fun (r : Replica.t) -> (r.Replica.name, Replica.load r)) replicas;
+      Array.to_list replicas |> List.concat_map Array.to_list
+      |> List.map (fun (r : Replica.t) -> (r.Replica.name, Replica.load r));
+    shards = shard_stats;
     audit_violations = !violations;
     duration = Core.now sim;
     trace = tracer;

@@ -9,9 +9,9 @@ module Core = Sim.Core
 module Net = Sim.Net
 
 type params = {
-  n_replicas : int;
+  n_replicas : int;  (** per shard *)
   n_clients : int;
-  strategy : int -> Strategy.t;  (** from n_replicas *)
+  strategy : int -> Strategy.t;  (** from n_replicas, per shard *)
   workload : Workload.spec;
   latency : Net.latency;
   loss : float;
@@ -31,9 +31,26 @@ type params = {
   tracer : Obs.Trace.t option;
       (** collect into this tracer instead of creating one (overrides
           [trace_capacity]) *)
+  n_shards : int;
+      (** replica groups the keyspace is split across (default 1 —
+          the historical single-group cluster; byte-identical runs) *)
+  shard_scheme : Router.scheme;  (** key → shard map (default [`Hash]) *)
+  batch_window : float option;
+      (** multi-key batching window of every client engine ([None] =
+          off, the historical behaviour) *)
+  shard_kill : (int * float) option;
+      (** targeted-failure nemesis: crash every replica of shard [s]
+          at time [at] for the rest of the run *)
 }
 
 val default_params : params
+
+type shard_stat = {
+  shard : int;
+  ok_ops : int;
+  failed_ops : int;
+  load : int;  (** queries + installs over the shard's replicas *)
+}
 
 type results = {
   reads : Sim.Stats.summary;
@@ -45,6 +62,7 @@ type results = {
   net : Net.counters;
   replica_loads : (string * int) list;
       (** queries + installs processed per replica *)
+  shards : shard_stat list;  (** per-shard operations and load *)
   audit_violations : string list;
   duration : float;
   trace : Obs.Trace.t;

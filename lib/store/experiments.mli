@@ -123,3 +123,38 @@ val retry_policy_table : ?seed:int -> unit -> retry_row list
     retry/backoff/hedging policy, under message loss and nemesis
     partitions (targeted-quorum routing — the stress case for
     fire-once clients). *)
+
+type shard_row = {
+  n_shards : int;
+  total_replicas : int;
+  messages : int;
+  replica_imbalance : float;
+      (** max replica load / mean replica load (1.0 = flat) *)
+  shard_spread : float;
+      (** max shard load / mean shard load (1 shard: 1.0) *)
+  availability : float;
+  kill_availability : float;
+      (** availability with the hottest shard crashed at t=500 *)
+}
+
+val shard_table : ?seed:int -> unit -> shard_row list
+(** Ablation: a Zipf-skewed workload over 1/2/4 range shards (3
+    replicas each) — load spread across replicas and shards, and the
+    blast radius of killing the hot shard mid-run. *)
+
+type batch_row = {
+  zipf_label : string;
+  mode : string;
+  b_messages : int;  (** wire messages *)
+  b_payloads : int;  (** logical requests carried *)
+  read_p95 : float;
+  write_p95 : float;
+  b_ok_ops : int;
+  b_failed_ops : int;
+  b_audit_clean : bool;
+}
+
+val batching_table : ?seed:int -> unit -> batch_row list
+(** Ablation: multi-key batching on burst-issuing clients, uniform vs
+    Zipf-skewed keys — wire messages vs logical payloads, and the p95
+    latency cost of the batching window. *)

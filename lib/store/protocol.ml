@@ -1,15 +1,30 @@
 (** Wire protocol of the replicated store: the two round-trip kinds of
     the paper's algorithm — version/value queries (the read phase of
     both logical reads and writes) and versioned installs (the write
-    phase). *)
+    phase) — plus batch frames that carry several of either in one
+    message (the engine's multi-key batching; the frame rid identifies
+    the batch, the wrapped requests keep their own rids). *)
 
 type msg =
   | Query_req of { rid : int; key : string }
   | Query_rep of { rid : int; key : string; vn : int; value : int }
   | Install_req of { rid : int; key : string; vn : int; value : int }
   | Install_ack of { rid : int; key : string }
+  | Batch_req of { rid : int; reqs : msg list }
+  | Batch_rep of { rid : int; reps : msg list }
 
 let rid = function
   | Query_req { rid; _ } | Query_rep { rid; _ } | Install_req { rid; _ }
-  | Install_ack { rid; _ } ->
+  | Install_ack { rid; _ }
+  | Batch_req { rid; _ }
+  | Batch_rep { rid; _ } ->
       rid
+
+(** The engine batching hooks for this protocol — pass to
+    [Rpc.Engine.set_batching] with the chosen window. *)
+let batching ~window : msg Rpc.Engine.batching =
+  {
+    Rpc.Engine.window;
+    wrap = (fun ~rid reqs -> Batch_req { rid; reqs });
+    unwrap = (function Batch_rep { reps; _ } -> Some reps | _ -> None);
+  }

@@ -1,11 +1,22 @@
 (** Wire protocol of the replicated store: version/value queries (the
-    read phase of both logical reads and writes) and versioned
-    installs (the write phase). *)
+    read phase of both logical reads and writes), versioned installs
+    (the write phase), and batch frames carrying several of either in
+    one message. *)
 
 type msg =
   | Query_req of { rid : int; key : string }
   | Query_rep of { rid : int; key : string; vn : int; value : int }
   | Install_req of { rid : int; key : string; vn : int; value : int }
   | Install_ack of { rid : int; key : string }
+  | Batch_req of { rid : int; reqs : msg list }
+      (** several requests for one replica in one wire message; the
+          frame rid identifies the batch, each wrapped request keeps
+          its own rid *)
+  | Batch_rep of { rid : int; reps : msg list }
+      (** the replica's answers to a [Batch_req], echoing its rid *)
 
 val rid : msg -> int
+
+val batching : window:float -> msg Rpc.Engine.batching
+(** The engine batching hooks for this protocol (see
+    {!Rpc.Engine.set_batching}). *)

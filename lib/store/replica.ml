@@ -8,7 +8,10 @@
     Work is counted through [Obs.Metrics] counters labelled with the
     replica name — pass a shared registry to [create] to aggregate a
     whole cluster in one place — and each query/install handled is
-    logged to the network's tracer. *)
+    logged to the network's tracer.  A batch frame is answered with a
+    single batch reply carrying the answers to each wrapped request in
+    order; the per-request counters and trace instants fire exactly as
+    if the requests had arrived separately. *)
 
 type t = {
   name : string;
@@ -17,11 +20,11 @@ type t = {
   installs : Obs.Metrics.counter;
 }
 
-let create ?metrics ~name () =
+let create ?metrics ?(extra_labels = []) ~name () =
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
-  let labels = [ ("replica", name) ] in
+  let labels = ("replica", name) :: extra_labels in
   {
     name;
     data = Hashtbl.create 64;
@@ -36,33 +39,54 @@ let lookup t key =
     tunes. *)
 let load t = Obs.Metrics.value t.queries + Obs.Metrics.value t.installs
 
+(* Answer one request (possibly a batch frame, whose parts recurse);
+   non-requests get no reply. *)
+let rec handle_one t ~(tr : Obs.Trace.t) msg =
+  match msg with
+  | Protocol.Query_req { rid; key } ->
+      Obs.Metrics.inc t.queries;
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant tr ~cat:"store" ~name:"query" ~track:t.name
+          ~args:[ ("key", Obs.Trace.Str key); ("rid", Obs.Trace.Int rid) ]
+          ();
+      let vn, value = lookup t key in
+      Some (Protocol.Query_rep { rid; key; vn; value })
+  | Protocol.Install_req { rid; key; vn; value } ->
+      Obs.Metrics.inc t.installs;
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant tr ~cat:"store" ~name:"install" ~track:t.name
+          ~args:
+            [
+              ("key", Obs.Trace.Str key);
+              ("rid", Obs.Trace.Int rid);
+              ("vn", Obs.Trace.Int vn);
+            ]
+          ();
+      let cur_vn, _ = lookup t key in
+      if vn >= cur_vn then Hashtbl.replace t.data key (vn, value);
+      Some (Protocol.Install_ack { rid; key })
+  | Protocol.Batch_req { rid; reqs } ->
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant tr ~cat:"store" ~name:"batch" ~track:t.name
+          ~args:
+            [
+              ("rid", Obs.Trace.Int rid);
+              ("size", Obs.Trace.Int (List.length reqs));
+            ]
+          ();
+      let reps = List.filter_map (fun m -> handle_one t ~tr m) reqs in
+      Some (Protocol.Batch_rep { rid; reps })
+  | Protocol.Query_rep _ | Protocol.Install_ack _ | Protocol.Batch_rep _ ->
+      None
+
 (** Attach the replica to the network. *)
 let attach t ~(net : Protocol.msg Sim.Net.t) =
   let tr = Sim.Net.tracer net in
   Sim.Net.register net ~node:t.name (fun ~src msg ->
-      match msg with
-      | Protocol.Query_req { rid; key } ->
-          Obs.Metrics.inc t.queries;
-          if Obs.Trace.enabled tr then
-            Obs.Trace.instant tr ~cat:"store" ~name:"query" ~track:t.name
-              ~args:[ ("key", Obs.Trace.Str key); ("rid", Obs.Trace.Int rid) ]
-              ();
-          let vn, value = lookup t key in
+      match handle_one t ~tr msg with
+      | None -> ()
+      | Some (Protocol.Batch_rep { reps; _ } as rep) ->
           Sim.Net.send net ~src:t.name ~dst:src
-            (Protocol.Query_rep { rid; key; vn; value })
-      | Protocol.Install_req { rid; key; vn; value } ->
-          Obs.Metrics.inc t.installs;
-          if Obs.Trace.enabled tr then
-            Obs.Trace.instant tr ~cat:"store" ~name:"install" ~track:t.name
-              ~args:
-                [
-                  ("key", Obs.Trace.Str key);
-                  ("rid", Obs.Trace.Int rid);
-                  ("vn", Obs.Trace.Int vn);
-                ]
-              ();
-          let cur_vn, _ = lookup t key in
-          if vn >= cur_vn then Hashtbl.replace t.data key (vn, value);
-          Sim.Net.send net ~src:t.name ~dst:src
-            (Protocol.Install_ack { rid; key })
-      | Protocol.Query_rep _ | Protocol.Install_ack _ -> ())
+            ~payloads:(List.length reps)
+            rep
+      | Some rep -> Sim.Net.send net ~src:t.name ~dst:src rep)

@@ -3,7 +3,9 @@
     only overwrite with a version at least the stored one, so
     retransmissions and stale retries are harmless.  Work is counted
     through [Obs.Metrics] counters labelled with the replica name, and
-    handled messages are logged to the network's tracer. *)
+    handled messages are logged to the network's tracer.  Batch frames
+    are answered with one batch reply carrying the per-request
+    answers in order. *)
 
 type t = {
   name : string;
@@ -12,13 +14,24 @@ type t = {
   installs : Obs.Metrics.counter;
 }
 
-val create : ?metrics:Obs.Metrics.t -> name:string -> unit -> t
+val create :
+  ?metrics:Obs.Metrics.t ->
+  ?extra_labels:(string * string) list ->
+  name:string ->
+  unit ->
+  t
 (** [metrics] defaults to a private registry; pass a shared one to
-    aggregate a whole cluster. *)
+    aggregate a whole cluster.  [extra_labels] are appended after
+    [("replica", name)] — e.g. a shard label. *)
 
 val lookup : t -> string -> int * int
 
 val load : t -> int
 (** Queries + installs handled. *)
+
+val handle_one : t -> tr:Obs.Trace.t -> Protocol.msg -> Protocol.msg option
+(** Process one request and return its reply, if any — batch frames
+    recurse over their parts and return one batch reply.  Exposed for
+    tests; [attach] wires this to the network. *)
 
 val attach : t -> net:Protocol.msg Sim.Net.t -> unit

@@ -1,0 +1,139 @@
+(** The shard router: split the keyspace across replica groups, each
+    with its own {!Strategy.t} and {!Rpc.Engine} (inside a per-shard
+    {!Client.t}), and resolve logical keys to shards.
+
+    Correctness needs no new argument: Gifford-style quorum consensus
+    is per item — every key's reads and writes intersect inside that
+    key's own replica group — so any deterministic key → group map
+    preserves the audit invariants.  The router is pure wiring: pick
+    the shard, delegate to its client.
+
+    Two shard maps are provided: [`Hash] (an FNV-1a hash of the key,
+    modulo the shard count — spreads hot keys) and [`Range]
+    (contiguous ranges of the key index for keys named ["k<i>"] —
+    preserves locality, concentrates skew).  Both are pure functions
+    of the key and the configuration, so every client in a cluster
+    computes the same map with no coordination.
+
+    With a single shard the router collapses to exactly the historical
+    single-group client: same construction, same handler registration,
+    same messages — byte-identical seeded runs. *)
+
+module Net = Sim.Net
+
+type scheme = [ `Hash | `Range ]
+
+let scheme_label = function `Hash -> "hash" | `Range -> "range"
+
+(* FNV-1a with the 64-bit prime and an offset basis truncated to
+   OCaml's 63-bit int.  Deliberately not [Hashtbl.hash]: the map is
+   part of the system's observable behaviour and must never move
+   under us. *)
+let fnv1a key =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun ch ->
+      h := (!h lxor Char.code ch) * 0x100000001b3)
+    key;
+  !h land max_int
+
+(* The numeric suffix of a key named like "k12"; [None] when the key
+   does not end in digits. *)
+let key_index key =
+  let n = String.length key in
+  let rec start i =
+    if i > 0 && key.[i - 1] >= '0' && key.[i - 1] <= '9' then start (i - 1)
+    else i
+  in
+  let s = start n in
+  if s >= n then None else int_of_string_opt (String.sub key s (n - s))
+
+(** The pure key → shard map for a scheme.  [n_keys] bounds the
+    [`Range] partition (key indices [0 .. n_keys-1] split into
+    [n_shards] contiguous ranges); keys outside it, or without a
+    numeric suffix, fall back to the hash map. *)
+let shard_fn (scheme : scheme) ~n_shards ~n_keys : string -> int =
+  if n_shards < 1 then invalid_arg "Router.shard_fn: n_shards must be >= 1";
+  match scheme with
+  | `Hash -> fun key -> fnv1a key mod n_shards
+  | `Range ->
+      fun key -> (
+        match key_index key with
+        | Some i when i >= 0 && i < n_keys && n_keys > 0 ->
+            i * n_shards / n_keys
+        | _ -> fnv1a key mod n_shards)
+
+type t = {
+  name : string;
+  net : Protocol.msg Net.t;
+  shards : Client.t array;
+  shard_of : string -> int;
+  scheme : scheme;
+  owner : (string, int) Hashtbl.t;  (** replica name -> owning shard *)
+}
+
+let create ~name ~sim ~net ~(groups : string array array)
+    ~(strategies : Strategy.t array) ~(scheme : scheme) ~n_keys
+    ?(timeout = 100.0) ?(read_repair = false) ?(targeting = `Broadcast)
+    ?policy ?(seed = 1) ?metrics ?batch_window () =
+  let n_shards = Array.length groups in
+  if n_shards < 1 then invalid_arg "Router.create: no shards";
+  if Array.length strategies <> n_shards then
+    invalid_arg "Router.create: one strategy per shard";
+  let shards =
+    Array.mapi
+      (fun s group ->
+        (* shard 0 of a 1-shard router is constructed exactly like the
+           historical client — same seed, same labels — so default
+           configurations reproduce pre-router runs byte for byte *)
+        let shard = if n_shards = 1 then None else Some s in
+        Client.create ~name ~sim ~net ~replicas:group
+          ~strategy:strategies.(s) ~timeout ~read_repair ~targeting ?policy
+          ~seed:(seed + (7919 * s))
+          ?metrics ?shard ?batch_window ())
+      groups
+  in
+  let owner = Hashtbl.create 16 in
+  Array.iteri
+    (fun s group -> Array.iter (fun r -> Hashtbl.replace owner r s) group)
+    groups;
+  { name; net; shards; shard_of = shard_fn scheme ~n_shards ~n_keys; scheme; owner }
+
+let n_shards t = Array.length t.shards
+let shard_of t key = t.shard_of key
+let scheme t = t.scheme
+let client t ~shard = t.shards.(shard)
+let clients t = t.shards
+let replicas t ~shard = t.shards.(shard).Client.replicas
+
+(** Attach the router as the node's net handler.  One shard delegates
+    to the client's own attach (the historical path); several shards
+    register a demultiplexer that routes each reply to the shard
+    owning its source replica (groups are disjoint, so the source
+    determines the shard). *)
+let attach t =
+  if Array.length t.shards = 1 then Client.attach t.shards.(0)
+  else
+    Net.register t.net ~node:t.name (fun ~src msg ->
+        match Hashtbl.find_opt t.owner src with
+        | Some s -> Client.handle t.shards.(s) ~src msg
+        | None -> ())
+
+let read t ~key ~on_done =
+  Client.read t.shards.(t.shard_of key) ~key ~on_done
+
+let write t ~key ~value ~on_done =
+  Client.write t.shards.(t.shard_of key) ~key ~value ~on_done
+
+let install t ~key ~vn ~value ~on_done =
+  Client.install t.shards.(t.shard_of key) ~key ~vn ~value ~on_done
+
+let set_policy t p = Array.iter (fun c -> Client.set_policy c p) t.shards
+let policy t = Client.policy t.shards.(0)
+
+let set_batch_window t w =
+  Array.iter (fun c -> Client.set_batch_window c w) t.shards
+
+let batch_window t = Client.batch_window t.shards.(0)
+
+let set_strategy t ~shard s = t.shards.(shard).Client.strategy <- s

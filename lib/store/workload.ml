@@ -43,6 +43,12 @@ type spec = {
   read_fraction : float;
   think_time : float;  (** mean think time between a client's ops *)
   ops_per_client : int;
+  burst : int;
+      (** operations a client issues concurrently per think interval
+          (waiting for the whole burst before thinking again); 1 — the
+          default, and the historical behaviour — is strictly one
+          operation in flight.  Bursts are what give the engine
+          several distinct keys in flight to batch. *)
 }
 
 let default_spec =
@@ -52,6 +58,7 @@ let default_spec =
     read_fraction = 0.9;
     think_time = 5.0;
     ops_per_client = 200;
+    burst = 1;
   }
 
 type op = Read of string | Write of string * int

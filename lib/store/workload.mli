@@ -15,6 +15,10 @@ type spec = {
   read_fraction : float;
   think_time : float;
   ops_per_client : int;
+  burst : int;
+      (** concurrent operations per think interval (default 1 = the
+          historical strictly-closed loop); bursts give the engine
+          several keys in flight to batch *)
 }
 
 val default_spec : spec

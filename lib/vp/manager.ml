@@ -12,35 +12,54 @@
     3. installs the new view (fresh id) and merged state at every
        member, completing when all have acknowledged.
 
+    The request mechanics — rid allocation, the pending table, reply
+    dispatch, the overall deadline — come from {!Rpc.Engine}, the same
+    engine the store and ADT clients use; the manager supplies only
+    the two gather phases and the merge.  Under the default fire-once
+    policy the wire behaviour is the historical one: one State_req
+    wave, one Install wave, one deadline timer.  A retrying or hedged
+    policy gives reconfiguration the same robustness as data
+    operations — replicas tolerate duplicate State_reqs (idempotent
+    reads) and duplicate Installs (same view id, nacked as stale only
+    after a newer view installs).
+
     Failure detection is deliberately out of scope (it is orthogonal;
     in the experiments the test harness triggers view changes when it
     reconfigures the network). *)
 
 module Core = Sim.Core
 module Net = Sim.Net
+module Engine = Rpc.Engine
 
 type t = {
   name : string;
   sim : Core.t;
   net : Protocol.msg Net.t;
   all_replicas : string list;
+  eng : Protocol.msg Engine.t;
   mutable next_view_id : int;
-  mutable next_rid : int;
   mutable current : View.t;
   timeout : float;
 }
 
-let create ~name ~sim ~net ~all_replicas ?(timeout = 50.0) () =
+let create ~name ~sim ~net ~all_replicas ?(timeout = 50.0) ?policy () =
+  let eng =
+    Engine.create ~name ~sim ~net ~rid_of:Protocol.rid ?policy ~cat:"vp" ()
+  in
+  Engine.attach eng;
   {
     name;
     sim;
     net;
     all_replicas;
+    eng;
     next_view_id = 1;
-    next_rid = 0;
     current = View.initial ~replicas:all_replicas;
     timeout;
   }
+
+let set_policy t p = Engine.set_policy t.eng p
+let policy t = Engine.policy t.eng
 
 (* Merge collected replica states keeping the highest version per key. *)
 let merge_states (states : (string * (int * int)) list list) :
@@ -65,45 +84,59 @@ let change_view t ~members ~on_done =
   else begin
     let view_id = t.next_view_id in
     t.next_view_id <- view_id + 1;
-    let rid = t.next_rid in
-    t.next_rid <- rid + 1;
-    let awaiting = ref members in
+    let op_ref = ref None in
+    let op =
+      Engine.start_op t.eng ~timeout:t.timeout ~on_timeout:(fun () ->
+          match !op_ref with
+          | Some op ->
+              Engine.finish_op t.eng op;
+              on_done ~ok:false t.current
+          | None -> ())
+    in
+    op_ref := Some op;
+    (* phase 2: install the new view and merged state at every member *)
+    let install states =
+      let merged = merge_states states in
+      let heard = Hashtbl.create 8 in
+      let awaiting = ref (List.length members) in
+      ignore
+        (Engine.call t.eng ~op ~targets:members
+           ~make:(fun rid ->
+             Protocol.Install { rid; view_id; members; state = merged })
+           ~on_reply:(fun ~src msg ->
+             match msg with
+             | Protocol.Install_ack _ when not (Hashtbl.mem heard src) ->
+                 Hashtbl.replace heard src ();
+                 decr awaiting;
+                 if !awaiting = 0 then begin
+                   Engine.finish_op t.eng op;
+                   t.current <- { View.id = view_id; members };
+                   on_done ~ok:true t.current;
+                   Engine.Done
+                 end
+                 else Engine.Continue
+             | _ -> Engine.Continue)
+           ())
+    in
+    (* phase 1: collect the full state of every proposed member *)
+    let heard = Hashtbl.create 8 in
+    let awaiting = ref (List.length members) in
     let states = ref [] in
-    let phase = ref `Collect in
-    let live = ref true in
-    Core.schedule t.sim ~delay:t.timeout (fun () ->
-        if !live then begin
-          live := false;
-          on_done ~ok:false t.current
-        end);
-    Net.register t.net ~node:t.name (fun ~src msg ->
-        if !live && Protocol.rid msg = rid then
-          match (msg, !phase) with
-          | Protocol.State_rep { state; _ }, `Collect ->
-              if List.mem src !awaiting then begin
-                awaiting := List.filter (fun r -> r <> src) !awaiting;
-                states := state :: !states
-              end;
-              if !awaiting = [] then begin
-                phase := `Install;
-                awaiting := members;
-                let merged = merge_states !states in
-                List.iter
-                  (fun r ->
-                    Net.send t.net ~src:t.name ~dst:r
-                      (Protocol.Install { rid; view_id; members; state = merged }))
-                  members
-              end
-          | Protocol.Install_ack _, `Install ->
-              if List.mem src !awaiting then
-                awaiting := List.filter (fun r -> r <> src) !awaiting;
-              if !awaiting = [] then begin
-                live := false;
-                t.current <- { View.id = view_id; members };
-                on_done ~ok:true t.current
-              end
-          | _ -> ());
-    List.iter
-      (fun r -> Net.send t.net ~src:t.name ~dst:r (Protocol.State_req { rid }))
-      members
+    ignore
+      (Engine.call t.eng ~op ~targets:members
+         ~make:(fun rid -> Protocol.State_req { rid })
+         ~on_reply:(fun ~src msg ->
+           match msg with
+           | Protocol.State_rep { state; _ } when not (Hashtbl.mem heard src)
+             ->
+               Hashtbl.replace heard src ();
+               states := state :: !states;
+               decr awaiting;
+               if !awaiting = 0 then begin
+                 install !states;
+                 Engine.Done
+               end
+               else Engine.Continue
+           | _ -> Engine.Continue)
+         ())
   end

@@ -1,8 +1,11 @@
 (** The view manager: a view change to a membership (refused unless it
     is a majority) collects every member's state, merges keeping the
     highest version per key, and installs the new view and state at
-    every member.  Failure detection is out of scope (the experiment
-    harness triggers changes when it reconfigures the network). *)
+    every member.  Request tracking — rids, the pending table, the
+    deadline, retries/hedging — comes from {!Rpc.Engine}; under the
+    default fire-once policy the wire behaviour is the historical one.
+    Failure detection is out of scope (the experiment harness triggers
+    changes when it reconfigures the network). *)
 
 type t
 
@@ -12,8 +15,15 @@ val create :
   net:Protocol.msg Sim.Net.t ->
   all_replicas:string list ->
   ?timeout:float ->
+  ?policy:Rpc.Policy.t ->
   unit ->
   t
+(** [policy] (default {!Rpc.Policy.default}, fire-once) governs
+    retries, backoff and hedging of the collect and install waves.
+    @raise Invalid_argument on an invalid policy. *)
+
+val set_policy : t -> Rpc.Policy.t -> unit
+val policy : t -> Rpc.Policy.t
 
 val merge_states :
   (string * (int * int)) list list -> (string * (int * int)) list

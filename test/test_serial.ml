@@ -451,6 +451,10 @@ let prop_serial_schedules_wellformed =
 
 let property_suite =
   ( "serial.properties",
-    [ QCheck_alcotest.to_alcotest prop_serial_schedules_wellformed ] )
+    [
+      QCheck_alcotest.to_alcotest
+        ~rand:(Random.State.make [| 0x5eed |])
+        prop_serial_schedules_wellformed;
+    ] )
 
 let suites = suites @ [ property_suite ]

@@ -1,0 +1,287 @@
+(* Tests for the shard router and multi-key batching (lib/store):
+   deterministic key → shard maps, batch frames end to end, the
+   message economy batching buys under skew, audit cleanliness when
+   sharding + batching + partitions compose, and a byte-for-byte trace
+   regression pinning default configurations to the pre-router
+   behaviour. *)
+
+module Core = Sim.Core
+module Net = Sim.Net
+module Router = Store.Router
+module P = Store.Protocol
+
+(* ---------- routing determinism ---------- *)
+
+let some_keys =
+  List.init 200 Store.Workload.key_name
+  @ [ "alpha"; "k"; "counter-7"; ""; "the same key" ]
+
+let test_shard_fn_deterministic () =
+  List.iter
+    (fun scheme ->
+      let f = Router.shard_fn scheme ~n_shards:4 ~n_keys:100 in
+      let g = Router.shard_fn scheme ~n_shards:4 ~n_keys:100 in
+      List.iter
+        (fun key ->
+          let s = f key in
+          Alcotest.(check int)
+            (Fmt.str "same map for %S (%s)" key (Router.scheme_label scheme))
+            s (g key);
+          Alcotest.(check bool) "in range" true (s >= 0 && s < 4))
+        some_keys)
+    [ `Hash; `Range ];
+  Alcotest.check_raises "zero shards rejected"
+    (Invalid_argument "Router.shard_fn: n_shards must be >= 1") (fun () ->
+      ignore (Router.shard_fn `Hash ~n_shards:0 ~n_keys:10 : string -> int))
+
+let test_range_contiguous () =
+  let n_keys = 20 and n_shards = 4 in
+  let f = Router.shard_fn `Range ~n_shards ~n_keys in
+  let shards = List.init n_keys (fun i -> f (Store.Workload.key_name i)) in
+  (* monotone over the key index, covering every shard: contiguous
+     equal-width ranges *)
+  ignore
+    (List.fold_left
+       (fun prev s ->
+         Alcotest.(check bool) "monotone over key index" true (s >= prev);
+         s)
+       0 shards);
+  List.iteri
+    (fun s _ ->
+      Alcotest.(check bool)
+        (Fmt.str "shard %d owns some range" s)
+        true
+        (List.mem s shards))
+    (List.init n_shards Fun.id);
+  (* a key outside the numeric space still routes somewhere stable *)
+  let s = f "alpha" in
+  Alcotest.(check int) "non-numeric fallback is stable" s (f "alpha")
+
+let test_hash_spreads () =
+  let f = Router.shard_fn `Hash ~n_shards:4 ~n_keys:400 in
+  let counts = Array.make 4 0 in
+  List.iter
+    (fun i ->
+      let s = f (Store.Workload.key_name i) in
+      counts.(s) <- counts.(s) + 1)
+    (List.init 400 Fun.id);
+  Array.iteri
+    (fun s c ->
+      Alcotest.(check bool)
+        (Fmt.str "shard %d gets a fair share (%d)" s c)
+        true (c > 40))
+    counts
+
+let test_key_index () =
+  let check name exp got =
+    Alcotest.(check (option int)) name exp got
+  in
+  check "k12" (Some 12) (Router.key_index "k12");
+  check "r3" (Some 3) (Router.key_index "r3");
+  check "k" None (Router.key_index "k");
+  check "alpha" None (Router.key_index "alpha");
+  check "" None (Router.key_index "")
+
+(* ---------- batch frames ---------- *)
+
+let test_replica_batch_round_trip () =
+  let r = Store.Replica.create ~name:"r0" () in
+  let tr = Obs.Trace.create ~capacity:64 () in
+  let reply =
+    Store.Replica.handle_one r ~tr
+      (P.Batch_req
+         {
+           rid = 9;
+           reqs =
+             [
+               P.Install_req { rid = 1; key = "a"; vn = 1; value = 10 };
+               P.Query_req { rid = 2; key = "a" };
+               P.Query_req { rid = 3; key = "missing" };
+             ];
+         })
+  in
+  match reply with
+  | Some (P.Batch_rep { rid = 9; reps }) ->
+      (match reps with
+      | [
+       P.Install_ack { rid = 1; key = "a" };
+       P.Query_rep { rid = 2; key = "a"; vn = 1; value = 10 };
+       P.Query_rep { rid = 3; key = "missing"; vn = 0; value = 0 };
+      ] ->
+          ()
+      | _ -> Alcotest.fail "replies must answer each request in order");
+      Alcotest.(check int) "both requests counted" 3 (Store.Replica.load r)
+  | _ -> Alcotest.fail "a batch request must earn one batch reply"
+
+let test_engine_coalesces_burst () =
+  (* two same-tick reads of different keys: with a batch window each
+     replica receives ONE wire message carrying two queries *)
+  let replica_names = List.init 5 (fun i -> Fmt.str "r%d" i) in
+  let run ~batch_window =
+    let sim = Core.create ~seed:11 in
+    let net = Net.create ~sim ~nodes:("c" :: replica_names) () in
+    let replicas =
+      List.map (fun name -> Store.Replica.create ~name ()) replica_names
+    in
+    List.iter (fun r -> Store.Replica.attach r ~net) replicas;
+    let client =
+      Store.Client.create ~name:"c" ~sim ~net
+        ~replicas:(Array.of_list replica_names)
+        ~strategy:(Store.Strategy.majority 5) ?batch_window ()
+    in
+    Store.Client.attach client;
+    let ok = ref 0 in
+    let on_done ~ok:o ~vn:_ ~value:_ ~latency:_ = if o then incr ok in
+    Store.Client.read client ~key:"x" ~on_done;
+    Store.Client.read client ~key:"y" ~on_done;
+    Core.run sim;
+    (!ok, Net.counters net)
+  in
+  let ok_u, c_u = run ~batch_window:None in
+  let ok_b, c_b = run ~batch_window:(Some 1.0) in
+  Alcotest.(check int) "unbatched reads succeed" 2 ok_u;
+  Alcotest.(check int) "batched reads succeed" 2 ok_b;
+  Alcotest.(check int) "unbatched: one wire message per query" c_u.Net.sent
+    c_u.Net.payload_sent;
+  Alcotest.(check bool)
+    (Fmt.str "batched: fewer wire messages than payloads (%d < %d)"
+       c_b.Net.sent c_b.Net.payload_sent)
+    true
+    (c_b.Net.sent < c_b.Net.payload_sent);
+  Alcotest.(check int) "same logical payloads either way" c_u.Net.payload_sent
+    c_b.Net.payload_sent
+
+(* ---------- message economy under skew ---------- *)
+
+let skewed_params ~batch_window ~seed =
+  {
+    Store.Cluster.default_params with
+    n_replicas = 3;
+    n_clients = 4;
+    n_shards = 4;
+    shard_scheme = `Range;
+    batch_window;
+    workload =
+      {
+        Store.Workload.default_spec with
+        ops_per_client = 60;
+        read_fraction = 0.7;
+        zipf_s = 1.1;
+        burst = 8;
+      };
+    seed;
+  }
+
+let test_batching_cuts_messages () =
+  let u = Store.Cluster.run (skewed_params ~batch_window:None ~seed:13) in
+  let b = Store.Cluster.run (skewed_params ~batch_window:(Some 1.0) ~seed:13) in
+  let ops r = Store.Cluster.(r.ok_reads + r.ok_writes) in
+  Alcotest.(check int) "same completed ops" (ops u) (ops b);
+  Alcotest.(check bool) "audit clean (unbatched)" true
+    (u.Store.Cluster.audit_violations = []);
+  Alcotest.(check bool) "audit clean (batched)" true
+    (b.Store.Cluster.audit_violations = []);
+  let su = u.Store.Cluster.net.Net.sent
+  and sb = b.Store.Cluster.net.Net.sent in
+  Alcotest.(check bool)
+    (Fmt.str "batching cuts wire messages by >= 30%% (%d -> %d)" su sb)
+    true
+    (float_of_int sb <= 0.7 *. float_of_int su)
+
+(* ---------- composition: shards + batching + nemesis ---------- *)
+
+let prop_sharded_batched_partitions_audit_clean =
+  QCheck.Test.make ~count:6
+    ~name:"shards + batching + partitions keep the audit clean"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let r =
+        Store.Cluster.run
+          {
+            Store.Cluster.default_params with
+            n_replicas = 3;
+            n_clients = 3;
+            n_shards = 3;
+            batch_window = Some 1.0;
+            targeting = `Quorum;
+            policy =
+              Rpc.Policy.with_hedge ~base:(Rpc.Policy.with_retries 2) 12.0;
+            partitions = Some 150.0;
+            workload =
+              {
+                Store.Workload.default_spec with
+                ops_per_client = 40;
+                read_fraction = 0.5;
+                zipf_s = 1.1;
+                burst = 4;
+              };
+            seed;
+          }
+      in
+      match r.Store.Cluster.audit_violations with
+      | [] -> true
+      | v :: _ -> QCheck.Test.fail_report v)
+
+(* ---------- byte-identical default runs ---------- *)
+
+(* Digests of the full JSONL trace export of three seeded default
+   (1-shard, unbatched, fire-once) runs, captured before the router
+   refactor landed.  Any drift in message order, rid allocation, PRNG
+   draws or trace emission changes these strings. *)
+let golden = [ (42, "62fd09f876b38be191cb8eefb006d365", 323316);
+               (7, "eac657f6d728608b593eb6216e997d00", 289142);
+               (101, "47b0ed42009c6a189e527695b71c9d8d", 283337) ]
+
+let test_default_trace_golden () =
+  List.iter
+    (fun (seed, md5, len) ->
+      let r =
+        Store.Cluster.run
+          {
+            Store.Cluster.default_params with
+            n_replicas = 5;
+            n_clients = 3;
+            workload =
+              { Store.Workload.default_spec with ops_per_client = 15 };
+            seed;
+            trace_capacity = 262144;
+          }
+      in
+      let s = Obs.Export.jsonl r.Store.Cluster.trace in
+      Alcotest.(check int) (Fmt.str "seed %d trace length" seed) len
+        (String.length s);
+      Alcotest.(check string)
+        (Fmt.str "seed %d trace digest" seed)
+        md5
+        (Digest.to_hex (Digest.string s)))
+    golden
+
+(* a pinned PRNG state makes the drawn cases — and therefore the whole
+   suite — deterministic run to run *)
+let qcheck t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t
+
+let suites =
+  [
+    ( "store.shard",
+      [
+        Alcotest.test_case "shard_fn is deterministic" `Quick
+          test_shard_fn_deterministic;
+        Alcotest.test_case "range scheme is contiguous" `Quick
+          test_range_contiguous;
+        Alcotest.test_case "hash scheme spreads keys" `Quick test_hash_spreads;
+        Alcotest.test_case "key_index parses numeric suffixes" `Quick
+          test_key_index;
+        Alcotest.test_case "default runs match pre-router traces" `Slow
+          test_default_trace_golden;
+      ] );
+    ( "store.batch",
+      [
+        Alcotest.test_case "replica batch frame round-trip" `Quick
+          test_replica_batch_round_trip;
+        Alcotest.test_case "engine coalesces a same-tick burst" `Quick
+          test_engine_coalesces_burst;
+        Alcotest.test_case "batching cuts messages under skew" `Slow
+          test_batching_cuts_messages;
+        qcheck prop_sharded_batched_partitions_audit_clean;
+      ] );
+  ]

@@ -345,7 +345,9 @@ let prop_availability_monotone =
           r2 +. 1e-12 >= r1 && w2 +. 1e-12 >= w1)
         [ Strategy.rowa n; Strategy.majority n; Strategy.primary n ])
 
-let qcheck t = QCheck_alcotest.to_alcotest t
+(* a pinned PRNG state makes the drawn cases — and therefore the whole
+   suite — deterministic run to run *)
+let qcheck t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t
 
 let suites =
   [
