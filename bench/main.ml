@@ -290,6 +290,36 @@ let t_sharded_batched =
     (Staged.stage (fun () ->
          Store.Cluster.run (sharded_cluster_params (Some 1.0))))
 
+(* the replica-side apply pipeline: same sharded cluster with a
+   storage device attached — per-install fsync vs group commit — and
+   the AIMD-controlled batching window *)
+let storage_cluster_params group_commit =
+  {
+    (sharded_cluster_params None) with
+    Store.Cluster.storage_cost = 0.05;
+    fsync_cost = 5.0;
+    group_commit;
+  }
+
+let t_sharded_naive_fsync =
+  Test.make ~name:"IO sharded cluster run (per-install fsync)"
+    (Staged.stage (fun () ->
+         Store.Cluster.run (storage_cluster_params false)))
+
+let t_sharded_group_commit =
+  Test.make ~name:"IO sharded cluster run (group commit)"
+    (Staged.stage (fun () ->
+         Store.Cluster.run (storage_cluster_params true)))
+
+let t_sharded_adaptive_window =
+  Test.make ~name:"Q3 sharded cluster run (4 shards, adaptive window)"
+    (Staged.stage (fun () ->
+         Store.Cluster.run
+           {
+             (sharded_cluster_params None) with
+             Store.Cluster.adaptive_window = Some Rpc.Window.default_config;
+           }))
+
 let all_tests =
   [
     t_f1_build_system_b;
@@ -321,6 +351,9 @@ let all_tests =
     t_rpc_retry_hedge;
     t_sharded_unbatched;
     t_sharded_batched;
+    t_sharded_naive_fsync;
+    t_sharded_group_commit;
+    t_sharded_adaptive_window;
   ]
 
 let test_name t = Test.Elt.name (List.hd (Test.elements t))

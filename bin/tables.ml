@@ -216,6 +216,71 @@ let batch_table () =
      in the p95 columns; the audit is untouched — batching changes framing, \
      never quorum membership.@."
 
+(* ---------- replica-side io pipeline ablation ---------- *)
+
+let io_table_check () =
+  header
+    "Replica io-pipeline ablation: per-install fsync vs group commit \
+     (majority-3, burst-8 Zipf, 30% reads, write_cost=0.05 fsync_cost=5.0)";
+  Fmt.pr "%-15s %-10s %-8s %-14s %-11s %-10s %-6s %-8s %-7s@." "mode"
+    "installs" "fsyncs" "fsyncs/install" "write mean" "write p95" "ok"
+    "failed" "audit";
+  let rows = Store.Experiments.io_table () in
+  List.iter
+    (fun (r : Store.Experiments.io_row) ->
+      Fmt.pr "%-15s %-10d %-8d %-14.3f %-11.2f %-10.2f %-6d %-8d %-7s@."
+        r.Store.Experiments.io_mode r.io_installs r.io_fsyncs
+        r.io_fsyncs_per_install r.io_write_mean r.io_write_p95 r.io_ok_ops
+        r.io_failed_ops
+        (if r.io_audit_clean then "clean" else "DIRTY")) rows;
+  let fpi mode =
+    match
+      List.find_opt (fun r -> r.Store.Experiments.io_mode = mode) rows
+    with
+    | Some r -> r.Store.Experiments.io_fsyncs_per_install
+    | None -> nan
+  in
+  let amortization = fpi "naive-fsync" /. fpi "group-commit" in
+  let audits_clean =
+    List.for_all (fun r -> r.Store.Experiments.io_audit_clean) rows
+  in
+  Fmt.pr
+    "@.shape: the device serializes, so per-install fsyncs queue behind each \
+     other and every burst pays its full length in fsync latency; group \
+     commit drains whatever accumulated behind the in-flight fsync as one \
+     group, amortizing the dominant cost — acks still wait for durability, \
+     so the audit is unchanged.@.";
+  Fmt.pr "@.group-commit fsync amortization vs naive: %.2fx (gate: >= 2.0)@."
+    amortization;
+  amortization >= 2.0 && audits_clean
+
+let io_table_cmd () =
+  if not (io_table_check ()) then (
+    Fmt.epr "io ablation gate FAILED: amortization < 2.0x or dirty audit@.";
+    exit 1)
+
+(* ---------- adaptive batching-window ablation ---------- *)
+
+let window_table_cmd () =
+  header
+    "Adaptive batching-window ablation: static windows vs AIMD control \
+     (majority-3, burst-8 Zipf vs uniform low-rate)";
+  Fmt.pr "%-18s %-15s %-10s %-10s %-10s %-6s %-8s %-7s@." "workload" "mode"
+    "messages" "payloads" "op mean" "ok" "failed" "audit";
+  List.iter
+    (fun (r : Store.Experiments.window_row) ->
+      Fmt.pr "%-18s %-15s %-10d %-10d %-10.2f %-6d %-8d %-7s@."
+        r.Store.Experiments.w_workload r.w_mode r.w_messages r.w_payloads
+        r.w_op_mean r.w_ok_ops r.w_failed_ops
+        (if r.w_audit_clean then "clean" else "DIRTY"))
+    (Store.Experiments.window_table ());
+  Fmt.pr
+    "@.shape: on bursts, wide static windows buy coalescing with queue \
+     delay; the AIMD controller widens only while flushes keep finding \
+     full per-replica frames, matching the best static message economy, \
+     and decays to zero on the uniform low-rate workload — where it adds \
+     no window latency at all (compare its op mean with unbatched).@."
+
 (* ---------- optimal vote assignments ---------- *)
 
 let optimal_table () =
@@ -439,6 +504,8 @@ let all seeds =
   retry_table ();
   shards_table ();
   batch_table ();
+  ignore (io_table_check ());
+  window_table_cmd ();
   exhaustive_table ()
 
 (* ---------- CLI ---------- *)
@@ -473,6 +540,10 @@ let () =
       cmd_of "retry" retry_table "Retry/backoff/hedging policy ablation";
       cmd_of "shards" shards_table "Shard-balance ablation (1/2/4 shards)";
       cmd_of "batch" batch_table "Multi-key batching ablation";
+      cmd_of "io" io_table_cmd
+        "Replica io-pipeline ablation (exits 1 if group commit amortizes \
+         fsyncs < 2x vs naive, or any audit is dirty)";
+      cmd_of "window" window_table_cmd "Adaptive batching-window ablation";
       Cmd.v (Cmd.info "theorem11" ~doc:"E11 serializability table")
         Term.(const theorem11_table $ Arg.(value & opt int 30 & info [ "seeds" ]));
     ]

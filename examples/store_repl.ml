@@ -20,6 +20,15 @@
                         each (all state is reset)
      batch W            coalesce per-replica requests over a W-unit window
      batch off          back to unbatched (the default)
+     window adaptive    AIMD-controlled batching window (replaces batch)
+     window off         remove the controller (batching stays at its
+                        current width)
+     storage W F [naive|group]
+                        rebuild the world with a storage device per
+                        replica: W per-write cost, F per-fsync cost,
+                        naive (fsync per install) or group commit
+                        (default; all state is reset)
+     storage off        rebuild without storage (all state is reset)
      balance            per-replica load, per-shard totals and spread
      stats              ops / network counters
      metrics            dump the metrics registry
@@ -49,6 +58,9 @@ type world = {
   router : Store.Router.t;
   n_shards : int;
   scheme : Store.Router.scheme;
+  storage : (float * float * bool) option;
+      (* (write_cost, fsync_cost, group_commit) of every replica's
+         device; [None] = synchronous installs (the default) *)
 }
 
 (* Build a fresh world: [n_shards] disjoint replica groups of
@@ -57,7 +69,7 @@ type world = {
    labels, handler registration) is exactly the historical
    single-group shell, so scripted default sessions reproduce byte for
    byte. *)
-let make_world ~n_shards ~scheme =
+let make_world ~n_shards ~scheme ~storage =
   let sim = Core.create ~seed:7 in
   let tracer = Obs.Trace.create ~capacity:65536 () in
   Core.attach_tracer sim tracer;
@@ -81,7 +93,14 @@ let make_world ~n_shards ~scheme =
           if n_shards = 1 then []
           else [ ("shard", String.sub name 1 (String.index name ':' - 1)) ]
         in
-        Store.Replica.create ~metrics ~name ~extra_labels ())
+        match storage with
+        | None -> Store.Replica.create ~metrics ~name ~extra_labels ()
+        | Some (write_cost, fsync_cost, group_commit) ->
+            Store.Replica.create ~metrics ~name ~extra_labels
+              ~storage:
+                (Sim.Storage.create ~sim ~name:(name ^ ":disk") ~write_cost
+                   ~fsync_cost ())
+              ~group_commit ())
       replica_names
   in
   List.iter (fun r -> Store.Replica.attach r ~net) replicas;
@@ -93,7 +112,7 @@ let make_world ~n_shards ~scheme =
       ~scheme ~n_keys ~timeout:50.0 ~read_repair:true ~metrics ()
   in
   Store.Router.attach router;
-  { sim; tracer; metrics; net; replicas; router; n_shards; scheme }
+  { sim; tracer; metrics; net; replicas; router; n_shards; scheme; storage }
 
 (* shards N [hash|range] — [Ok None] means "just show the layout" *)
 let parse_shards = function
@@ -109,6 +128,22 @@ let parse_shards = function
           | [ "range" ] -> Ok (Some (n, Some `Range))
           | _ -> Error "scheme must be 'hash' or 'range'"))
 
+(* storage W F [naive|group] | storage off — [Ok None] shows the device *)
+let parse_storage = function
+  | [] -> Ok None
+  | [ "off" ] -> Ok (Some None)
+  | w :: f :: rest -> (
+      match (float_of_string_opt w, float_of_string_opt f) with
+      | Some w, Some f
+        when Float.is_finite w && w >= 0.0 && Float.is_finite f && f >= 0.0 -> (
+          match rest with
+          | [] | [ "group" ] -> Ok (Some (Some (w, f, true)))
+          | [ "naive" ] -> Ok (Some (Some (w, f, false)))
+          | _ -> Error "discipline must be 'naive' or 'group'"
+      )
+      | _ -> Error "costs must be finite numbers >= 0")
+  | _ -> Error "usage: storage [W F [naive|group] | off]"
+
 (* batch W | batch off — [Ok None] means "just show the window" *)
 let parse_batch = function
   | [] -> Ok None
@@ -120,7 +155,7 @@ let parse_batch = function
   | _ -> Error "usage: batch [W | off]"
 
 let () =
-  let w = ref (make_world ~n_shards:1 ~scheme:`Hash) in
+  let w = ref (make_world ~n_shards:1 ~scheme:`Hash ~storage:None) in
   Fmt.pr "replicated store: 5 replicas, majority quorums, read repair on.@.";
   Fmt.pr "type 'help' for commands.@.";
   let run_op f =
@@ -148,7 +183,8 @@ let () =
             Fmt.pr
               "put KEY INT | get KEY | crash NODE | recover NODE | cut A B | \
                heal A B | dump | policy [retries N | hedge D | off] | loss P | \
-               shards [N [hash|range]] | batch [W | off] | balance | stats | \
+               shards [N [hash|range]] | batch [W | off] | window [adaptive | \
+               off] | storage [W F [naive|group] | off] | balance | stats | \
                metrics | trace FILE | quit@.";
             loop ()
         | [ "put"; key; v ] ->
@@ -250,7 +286,7 @@ let () =
                   replicas_per_shard
             | Ok (Some (n, scheme)) ->
                 let scheme = Option.value scheme ~default:!w.scheme in
-                w := make_world ~n_shards:n ~scheme;
+                w := make_world ~n_shards:n ~scheme ~storage:!w.storage;
                 Fmt.pr
                   "rebuilt: %d shard%s (%s), %d replicas each — all state \
                    reset@."
@@ -273,6 +309,46 @@ let () =
                 (match win with
                 | None -> Fmt.pr "batch: off@."
                 | Some win -> Fmt.pr "batch: window %g@." win));
+            loop ()
+        | "window" :: rest ->
+            (match rest with
+            | [] -> (
+                match Store.Router.adaptive_window !w.router with
+                | Some c ->
+                    Fmt.pr "window: adaptive, currently %g (%a)@."
+                      (Rpc.Window.window c) Rpc.Window.pp_config
+                      (Rpc.Window.config c)
+                | None -> Fmt.pr "window: static (see 'batch')@.")
+            | [ "adaptive" ] ->
+                Store.Router.set_adaptive_window !w.router
+                  (Some Rpc.Window.default_config);
+                Fmt.pr "window: adaptive (%a)@." Rpc.Window.pp_config
+                  Rpc.Window.default_config
+            | [ "off" ] ->
+                Store.Router.set_adaptive_window !w.router None;
+                Fmt.pr "window: controller removed (batching unchanged, see \
+                        'batch')@."
+            | _ -> Fmt.pr "usage: window [adaptive | off]@.");
+            loop ()
+        | "storage" :: rest ->
+            (match parse_storage rest with
+            | Error e -> Fmt.pr "invalid storage: %s@." e
+            | Ok None -> (
+                match !w.storage with
+                | None -> Fmt.pr "storage: off (synchronous installs)@."
+                | Some (wc, fc, gc) ->
+                    Fmt.pr "storage: write %g fsync %g, %s commit@." wc fc
+                      (if gc then "group" else "per-install (naive)"))
+            | Ok (Some storage) ->
+                w := make_world ~n_shards:!w.n_shards ~scheme:!w.scheme ~storage;
+                (match storage with
+                | None -> Fmt.pr "rebuilt without storage — all state reset@."
+                | Some (wc, fc, gc) ->
+                    Fmt.pr
+                      "rebuilt: storage write %g fsync %g, %s commit — all \
+                       state reset@."
+                      wc fc
+                      (if gc then "group" else "per-install (naive)")));
             loop ()
         | [ "balance" ] ->
             let shard_loads =
@@ -321,14 +397,20 @@ let () =
                 (Store.Router.clients !w.router)
             in
             let c = Net.counters !w.net in
+            let fsyncs =
+              List.fold_left
+                (fun acc r -> acc + Store.Replica.fsyncs r)
+                0 !w.replicas
+            in
             Fmt.pr "ops ok=%d failed=%d repairs=%d | msgs sent=%d delivered=%d \
                     dropped=%d (sender_down=%d dest_down=%d link_cut=%d \
-                    loss=%d) | sim time %.1f@."
+                    loss=%d) | fsyncs=%d | sim time %.1f@."
               (sum (fun c -> c.Store.Client.ops_ok))
               (sum (fun c -> c.Store.Client.ops_failed))
               (sum (fun c -> c.Store.Client.repairs_sent))
               c.Net.sent c.delivered c.dropped c.drop_sender_down
-              c.drop_dest_down c.drop_link_cut c.drop_loss (Core.now !w.sim);
+              c.drop_dest_down c.drop_link_cut c.drop_loss fsyncs
+              (Core.now !w.sim);
             loop ()
         | _ ->
             Fmt.pr "unknown command (try 'help')@.";

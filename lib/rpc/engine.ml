@@ -78,6 +78,12 @@ type 'msg t = {
   mutable m_batch_size : Obs.Metrics.histogram option;
       (** created lazily on first enable — a never-batching engine
           registers no extra instruments *)
+  mutable wctl : Window.t option;
+      (** adaptive window controller: when present, its current window
+          replaces the static [batching.window] as the flush delay, and
+          every flush feeds it the peak per-destination batch size *)
+  mutable m_window : Obs.Metrics.gauge option;
+      (** [rpc.window] — created lazily with the controller *)
 }
 
 let check_policy p =
@@ -114,6 +120,8 @@ let create ~name ~sim ~net ~rid_of ?(policy = Policy.default) ?(cat = "rpc")
     outq = [];
     flush_armed = false;
     m_batch_size = None;
+    wctl = None;
+    m_window = None;
   }
 
 let name t = t.name
@@ -140,8 +148,15 @@ let flush t =
   match t.batching with
   | None ->
       (* batching switched off with sends still queued: let them go
-         out unwrapped rather than stranding them *)
-      List.iter (fun (dst, m) -> Net.send t.net ~src:t.name ~dst m) queued
+         out unwrapped rather than stranding them, each accounted as a
+         single-message frame *)
+      List.iter
+        (fun (dst, m) ->
+          (match t.m_batch_size with
+          | Some h -> Obs.Metrics.observe h 1.0
+          | None -> ());
+          Net.send t.net ~src:t.name ~dst m)
+        queued
   | Some b ->
       (* group per destination, preserving first-appearance order so
          the flush is deterministic *)
@@ -155,9 +170,11 @@ let flush t =
               Hashtbl.replace by_dst dst (ref [ m ]);
               order := dst :: !order)
         queued;
+      let peak = ref 0 in
       List.iter
         (fun dst ->
           let msgs = List.rev !(Hashtbl.find by_dst dst) in
+          peak := max !peak (List.length msgs);
           (match t.m_batch_size with
           | Some h -> Obs.Metrics.observe h (float_of_int (List.length msgs))
           | None -> ());
@@ -177,7 +194,16 @@ let flush t =
                   ();
               Net.send t.net ~src:t.name ~dst ~payloads:(List.length ms)
                 (b.wrap ~rid ms))
-        (List.rev !order)
+        (List.rev !order);
+      (* close the loop: the peak per-destination batch size tells the
+         controller whether the window is earning its queue delay *)
+      (match t.wctl with
+      | Some c when queued <> [] ->
+          Window.observe c ~peak:!peak;
+          (match t.m_window with
+          | Some g -> Obs.Metrics.set g (Window.window c)
+          | None -> ())
+      | _ -> ())
 
 (* Every outgoing request funnels through here: with batching off it
    is exactly the historical [Net.send]; with batching on the send is
@@ -189,13 +215,16 @@ let dispatch t ~dst msg =
       t.outq <- (dst, msg) :: t.outq;
       if not t.flush_armed then begin
         t.flush_armed <- true;
-        Core.schedule t.sim ~delay:b.window (fun () -> flush t)
+        let window =
+          match t.wctl with Some c -> Window.window c | None -> b.window
+        in
+        Core.schedule t.sim ~delay:window (fun () -> flush t)
       end
 
 let batching t = t.batching
 
 let set_batching t b =
-  (match b with
+  match b with
   | Some bb ->
       if (not (Float.is_finite bb.window)) || bb.window < 0.0 then
         invalid_arg "Rpc.Engine.set_batching: window must be finite and >= 0";
@@ -207,9 +236,28 @@ let set_batching t b =
             Some
               (Obs.Metrics.histogram t.metrics ~labels:t.labels
                  ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |]
-                 "rpc.batch_size"))
+                 "rpc.batch_size"));
+      t.batching <- b
+  | None ->
+      t.batching <- None;
+      (* a mid-flight disable must not strand queued sends until the
+         already-armed timer fires: flush them now, unwrapped (the
+         orphaned timer later finds an empty queue and sends nothing) *)
+      if t.outq <> [] then flush t
+
+let set_adaptive_window t w =
+  (match w with
+  | Some c ->
+      (match t.m_window with
+      | Some g -> Obs.Metrics.set g (Window.window c)
+      | None ->
+          let g = Obs.Metrics.gauge t.metrics ~labels:t.labels "rpc.window" in
+          Obs.Metrics.set g (Window.window c);
+          t.m_window <- Some g)
   | None -> ());
-  t.batching <- b
+  t.wctl <- w
+
+let adaptive_window t = t.wctl
 
 (* Attempt spans exist to see retries and hedges; a fire-once call
    emits nothing, keeping default-policy traces byte-identical. *)

@@ -94,10 +94,23 @@ val set_batching : 'msg t -> 'msg batching option -> unit
     issued after the call.  The default is off, which keeps the send
     path byte-identical to historical runs; enabling registers an
     [rpc.batch_size] histogram.  Disabling keeps the unwrap function,
-    so batch replies still in flight complete normally.
+    so batch replies still in flight complete normally, and flushes any
+    still-queued sends immediately (unwrapped) rather than stranding
+    them until the already-armed window timer.
     @raise Invalid_argument if the window is negative or not finite. *)
 
 val batching : 'msg t -> 'msg batching option
+
+val set_adaptive_window : 'msg t -> Window.t option -> unit
+(** Install ([Some c]) or remove ([None]) an adaptive window
+    controller.  While installed — and batching is enabled — the
+    controller's current window replaces the static [batching.window]
+    as the coalescing delay, and every flush reports its peak
+    per-destination batch size to {!Window.observe}; an [rpc.window]
+    gauge tracks the window.  Removing it falls back to the static
+    window. *)
+
+val adaptive_window : 'msg t -> Window.t option
 
 val name : 'msg t -> string
 val policy : 'msg t -> Policy.t

@@ -1,0 +1,67 @@
+(** A storage-device model for replicas: every write and every fsync
+    costs virtual time, and the device executes one request at a time.
+    Requests submitted while the device is busy queue behind
+    [busy_until] — exactly the serialization a single disk (or a
+    single WAL) imposes — so a replica that fsyncs per install pays the
+    full cost serially, while one that groups installs behind a shared
+    fsync amortizes it.
+
+    Costs of zero are legal (the device becomes a same-instant
+    pass-through, still scheduled on the simulator so completion order
+    is preserved).  All time comes from the virtual clock and no PRNG
+    is consulted: runs remain deterministic from the seed. *)
+
+type t = {
+  sim : Core.t;
+  name : string;
+  write_cost : float;  (** virtual time units per applied write *)
+  fsync_cost : float;  (** virtual time units per fsync *)
+  mutable busy_until : float;  (** device frees up at this time *)
+  mutable writes : int;
+  mutable fsyncs : int;
+}
+
+let check_cost what c =
+  if (not (Float.is_finite c)) || c < 0.0 then
+    invalid_arg (Fmt.str "Sim.Storage.create: %s must be finite and >= 0" what)
+
+let create ~sim ~name ?(write_cost = 0.0) ?(fsync_cost = 0.0) () =
+  check_cost "write_cost" write_cost;
+  check_cost "fsync_cost" fsync_cost;
+  { sim; name; write_cost; fsync_cost; busy_until = 0.0; writes = 0; fsyncs = 0 }
+
+(* Serialize one request through the device: it starts when the device
+   frees up and holds it for [cost]; the continuation runs at
+   completion, in virtual time. *)
+let exec t ~cost k =
+  let now = Core.now t.sim in
+  let start = Float.max now t.busy_until in
+  let finish = start +. cost in
+  t.busy_until <- finish;
+  Core.schedule t.sim ~delay:(finish -. now) k
+
+let submit t ~writes k =
+  if writes < 0 then invalid_arg "Sim.Storage.submit: writes must be >= 0";
+  exec t ~cost:(float_of_int writes *. t.write_cost) (fun () ->
+      t.writes <- t.writes + writes;
+      let tr = Core.tracer t.sim in
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant tr ~cat:"sim" ~name:"storage.write" ~track:t.name
+          ~args:[ ("writes", Obs.Trace.Int writes) ]
+          ();
+      k ())
+
+let fsync t k =
+  exec t ~cost:t.fsync_cost (fun () ->
+      t.fsyncs <- t.fsyncs + 1;
+      let tr = Core.tracer t.sim in
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant tr ~cat:"sim" ~name:"storage.fsync" ~track:t.name ();
+      k ())
+
+let writes t = t.writes
+let fsyncs t = t.fsyncs
+let busy_until t = t.busy_until
+let write_cost t = t.write_cost
+let fsync_cost t = t.fsync_cost
+let name t = t.name

@@ -1,0 +1,45 @@
+(** A deterministic storage-device model: writes and fsyncs cost
+    virtual time and execute one at a time, serialized through the
+    device.  Submitting while the device is busy queues behind the
+    in-flight request — the serialization a single disk or WAL
+    imposes — which is what makes fsync amortization measurable: a
+    per-install fsync pays [write_cost + fsync_cost] serially per
+    install, a group commit pays one fsync for the whole group.
+    No PRNG draws; completion times are pure functions of submission
+    times and costs. *)
+
+type t
+
+val create :
+  sim:Core.t ->
+  name:string ->
+  ?write_cost:float ->
+  ?fsync_cost:float ->
+  unit ->
+  t
+(** A device on [sim]'s virtual clock.  Both costs default to [0.0]
+    (a same-instant pass-through).  [name] labels the device's trace
+    instants ([storage.write], [storage.fsync]).
+    @raise Invalid_argument if a cost is negative or not finite. *)
+
+val submit : t -> writes:int -> (unit -> unit) -> unit
+(** Apply [writes] writes (cost [writes * write_cost], serialized
+    through the device) and run the continuation at completion.
+    @raise Invalid_argument if [writes < 0]. *)
+
+val fsync : t -> (unit -> unit) -> unit
+(** One fsync (cost [fsync_cost], serialized through the device); the
+    continuation runs once it completes — durability point. *)
+
+val writes : t -> int
+(** Writes completed so far. *)
+
+val fsyncs : t -> int
+(** Fsyncs completed so far. *)
+
+val busy_until : t -> float
+(** Virtual time at which the device frees up. *)
+
+val write_cost : t -> float
+val fsync_cost : t -> float
+val name : t -> string

@@ -86,7 +86,7 @@ let tracer t = Core.tracer t.sim
 
 let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
     ?(read_repair = false) ?(targeting = `Broadcast) ?policy ?(seed = 1)
-    ?metrics ?shard ?batch_window () =
+    ?metrics ?shard ?batch_window ?adaptive_window () =
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
@@ -117,9 +117,17 @@ let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
     Engine.create ~name ~sim ~net ~rid_of:Protocol.rid ?policy ~cat:"store"
       ~seed ~metrics ~extra_labels ()
   in
-  (match batch_window with
-  | Some w -> Engine.set_batching eng (Some (Protocol.batching ~window:w))
-  | None -> ());
+  (* adaptive batching subsumes the static window: batching is enabled
+     at the controller's initial window and the controller takes over
+     the flush delay from there *)
+  (match (adaptive_window, batch_window) with
+  | Some cfg, _ ->
+      Engine.set_batching eng
+        (Some (Protocol.batching ~window:cfg.Rpc.Window.initial));
+      Engine.set_adaptive_window eng (Some (Rpc.Window.create cfg))
+  | None, Some w ->
+      Engine.set_batching eng (Some (Protocol.batching ~window:w))
+  | None, None -> ());
   {
     name;
     sim;
@@ -148,6 +156,16 @@ let set_batch_window t w =
 
 let batch_window t =
   Option.map (fun b -> b.Engine.window) (Engine.batching t.eng)
+
+let set_adaptive_window t cfg =
+  match cfg with
+  | Some c ->
+      Engine.set_batching t.eng
+        (Some (Protocol.batching ~window:c.Rpc.Window.initial));
+      Engine.set_adaptive_window t.eng (Some (Rpc.Window.create c))
+  | None -> Engine.set_adaptive_window t.eng None
+
+let adaptive_window t = Engine.adaptive_window t.eng
 
 let replica_index t name =
   let rec go i =

@@ -54,6 +54,7 @@ val create :
   ?metrics:Obs.Metrics.t ->
   ?shard:int ->
   ?batch_window:float ->
+  ?adaptive_window:Rpc.Window.config ->
   unit ->
   t
 (** [metrics] defaults to a private registry; pass a shared one to
@@ -63,6 +64,9 @@ val create :
     metrics — set by the router when several clients serve one logical
     node.  [batch_window] enables multi-key batching on the engine
     (see {!Rpc.Engine.set_batching}); off by default.
+    [adaptive_window] instead enables batching under an AIMD window
+    controller (see {!Rpc.Window}) and takes precedence over
+    [batch_window].
     Every operation is traced as a span on the simulator's tracer
     (begin at issue, end at quorum/timeout), with reply / phase-switch
     / timeout instants in between. *)
@@ -80,6 +84,18 @@ val set_batch_window : t -> float option -> unit
     @raise Invalid_argument if the window is negative or not finite. *)
 
 val batch_window : t -> float option
+
+val set_adaptive_window : t -> Rpc.Window.config option -> unit
+(** Enable ([Some cfg]) adaptive batching — batching switches on at the
+    config's initial window and an AIMD controller takes over the flush
+    delay — or remove the controller ([None]), falling back to the
+    engine's static window (disable that too with
+    {!set_batch_window}).
+    @raise Invalid_argument if the config fails {!Rpc.Window.validate}. *)
+
+val adaptive_window : t -> Rpc.Window.t option
+(** The live controller, if one is installed — inspect its current
+    window with {!Rpc.Window.window}. *)
 
 val attach : t -> unit
 (** Install the client's reply handler on the network. *)

@@ -59,6 +59,19 @@ type params = {
           at time [at] for the rest of the run — the blast-radius
           experiment (only the killed shard's keys become
           unavailable) *)
+  storage_cost : float;
+      (** per-write latency of every replica's storage device; with
+          [fsync_cost] both zero (the default) no device is attached
+          and installs stay synchronous — byte-identical runs *)
+  fsync_cost : float;  (** per-fsync latency of every replica's device *)
+  group_commit : bool;
+      (** with storage attached: drain the apply queue a whole group
+          per fsync (default) vs one install per fsync (the naive
+          baseline of the io ablation) *)
+  adaptive_window : Rpc.Window.config option;
+      (** AIMD-controlled batching window of every client engine
+          (takes precedence over [batch_window]); [None] (default)
+          keeps the static window, byte-identically *)
 }
 
 let default_params =
@@ -81,6 +94,10 @@ let default_params =
     shard_scheme = `Hash;
     batch_window = None;
     shard_kill = None;
+    storage_cost = 0.0;
+    fsync_cost = 0.0;
+    group_commit = true;
+    adaptive_window = None;
   }
 
 type audit_entry = {
@@ -110,6 +127,11 @@ type results = {
   shards : shard_stat list;  (** per-shard operations and load *)
   audit_violations : string list;
   duration : float;
+  installs : int;  (** installs processed across every replica *)
+  fsyncs : int;
+      (** fsyncs across every replica's storage device ([0] without
+          storage) — [fsyncs / installs] is the amortization the io
+          ablation measures *)
   trace : Obs.Trace.t;
       (** the run's trace — export with [Obs.Export], query with
           [Obs.Query]; empty unless tracing was enabled *)
@@ -151,6 +173,9 @@ let run (p : params) : results =
     Net.create ~sim ~nodes:(replica_names @ client_names) ~latency:p.latency
       ~loss:p.loss ()
   in
+  (* a storage device per replica, but only when a cost is nonzero:
+     default runs attach nothing and schedule nothing new *)
+  let storage_enabled = p.storage_cost > 0.0 || p.fsync_cost > 0.0 in
   let replicas =
     Array.mapi
       (fun s group ->
@@ -158,7 +183,18 @@ let run (p : params) : results =
           if p.n_shards = 1 then []
           else [ ("shard", string_of_int s) ]
         in
-        Array.map (fun name -> Replica.create ~metrics ~extra_labels ~name ()) group)
+        Array.map
+          (fun name ->
+            let storage =
+              if storage_enabled then
+                Some
+                  (Sim.Storage.create ~sim ~name ~write_cost:p.storage_cost
+                     ~fsync_cost:p.fsync_cost ())
+              else None
+            in
+            Replica.create ~metrics ~extra_labels ?storage
+              ~group_commit:p.group_commit ~name ())
+          group)
       group_names
   in
   Array.iter (Array.iter (fun r -> Replica.attach r ~net)) replicas;
@@ -187,7 +223,8 @@ let run (p : params) : results =
           Router.create ~name ~sim ~net ~groups:group_names ~strategies
             ~scheme:p.shard_scheme ~n_keys:p.workload.Workload.n_keys
             ~timeout:p.timeout ~targeting:p.targeting ~policy:p.policy
-            ~seed:(p.seed + ci) ~metrics ?batch_window:p.batch_window ()
+            ~seed:(p.seed + ci) ~metrics ?batch_window:p.batch_window
+            ?adaptive_window:p.adaptive_window ()
         in
         Router.attach c;
         (ci, c))
@@ -411,6 +448,14 @@ let run (p : params) : results =
     shards = shard_stats;
     audit_violations = !violations;
     duration = Core.now sim;
+    installs =
+      Array.to_list replicas |> List.concat_map Array.to_list
+      |> List.fold_left
+           (fun acc (r : Replica.t) -> acc + Obs.Metrics.value r.Replica.installs)
+           0;
+    fsyncs =
+      Array.to_list replicas |> List.concat_map Array.to_list
+      |> List.fold_left (fun acc r -> acc + Replica.fsyncs r) 0;
     trace = tracer;
     metrics;
   }

@@ -41,6 +41,17 @@ type params = {
   shard_kill : (int * float) option;
       (** targeted-failure nemesis: crash every replica of shard [s]
           at time [at] for the rest of the run *)
+  storage_cost : float;
+      (** per-write latency of every replica's storage device; with
+          [fsync_cost] both zero (the default) no device is attached
+          and installs stay synchronous — byte-identical runs *)
+  fsync_cost : float;  (** per-fsync latency of every replica's device *)
+  group_commit : bool;
+      (** with storage: a whole group per fsync (default) vs one
+          install per fsync (the naive baseline) *)
+  adaptive_window : Rpc.Window.config option;
+      (** AIMD-controlled batching window of every client engine
+          (takes precedence over [batch_window]; [None] = static) *)
 }
 
 val default_params : params
@@ -65,6 +76,10 @@ type results = {
   shards : shard_stat list;  (** per-shard operations and load *)
   audit_violations : string list;
   duration : float;
+  installs : int;  (** installs processed across every replica *)
+  fsyncs : int;
+      (** fsyncs across every replica's storage device ([0] without
+          storage) *)
   trace : Obs.Trace.t;
       (** export with [Obs.Export], query with [Obs.Query] *)
   metrics : Obs.Metrics.t;

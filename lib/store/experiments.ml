@@ -767,3 +767,161 @@ let batching_table ?(seed = 97) () : batch_row list =
           })
         [ ("unbatched", None); (Fmt.str "batched w=%g" window, Some window) ])
     [ ("uniform (s=0)", 0.0); ("zipf s=1.1", 1.1) ]
+
+(** {1 Ablation — replica-side io pipeline}
+
+    With a storage device attached ([storage_cost]/[fsync_cost] > 0)
+    every install must reach disk before it acks.  The naive
+    discipline fsyncs per install — one serialized
+    [write_cost + fsync_cost] each, exactly 1.0 fsyncs per install by
+    construction — while group commit drains whatever accumulated
+    behind the in-flight fsync as one group per fsync, amortizing the
+    dominant cost across the burst.  The audit runs unchanged: acks
+    still certify durable versions, so quorum intersection (and
+    therefore the audit) is untouched by the pipeline. *)
+
+type io_row = {
+  io_mode : string;  (** "no-storage", "naive-fsync", "group-commit" *)
+  io_installs : int;
+  io_fsyncs : int;
+  io_fsyncs_per_install : float;
+  io_write_mean : float;
+  io_write_p95 : float;
+  io_ok_ops : int;
+  io_failed_ops : int;
+  io_audit_clean : bool;
+}
+
+let io_table ?(seed = 42) () : io_row list =
+  let params ~storage ~group_commit =
+    {
+      Cluster.default_params with
+      n_replicas = 3;
+      n_clients = 4;
+      workload =
+        {
+          Workload.default_spec with
+          ops_per_client = 60;
+          read_fraction = 0.3;
+          zipf_s = 1.1;
+          burst = 8;
+        };
+      storage_cost = (if storage then 0.05 else 0.0);
+      fsync_cost = (if storage then 5.0 else 0.0);
+      group_commit;
+      seed;
+    }
+  in
+  List.map
+    (fun (io_mode, storage, group_commit) ->
+      let r = Cluster.run (params ~storage ~group_commit) in
+      {
+        io_mode;
+        io_installs = r.Cluster.installs;
+        io_fsyncs = r.Cluster.fsyncs;
+        io_fsyncs_per_install =
+          (if r.Cluster.installs = 0 then nan
+           else
+             float_of_int r.Cluster.fsyncs /. float_of_int r.Cluster.installs);
+        io_write_mean = r.Cluster.writes.Sim.Stats.mean;
+        io_write_p95 = r.Cluster.writes.Sim.Stats.p95;
+        io_ok_ops = r.Cluster.ok_reads + r.Cluster.ok_writes;
+        io_failed_ops = r.Cluster.failed_reads + r.Cluster.failed_writes;
+        io_audit_clean = r.Cluster.audit_violations = [];
+      })
+    [
+      ("no-storage", false, true);
+      ("naive-fsync", true, false);
+      ("group-commit", true, true);
+    ]
+
+(** {1 Ablation — adaptive batching windows}
+
+    The static window is a bet placed once: too small and bursts leave
+    coalescing on the table, too large and a quiet client pays queue
+    delay for frames that never form.  The AIMD controller moves the
+    bet every flush — peak per-destination batch size >= 2 widens the
+    window additively, an idle flush halves it toward zero.  The table
+    runs both regimes: a burst-8 Zipf workload (where wide windows
+    win the message economy) and a uniform low-rate workload (where
+    any fixed window only adds latency; the controller should sit at
+    zero and match the unbatched mean). *)
+
+type window_row = {
+  w_workload : string;  (** "burst-8 zipf" or "uniform low-rate" *)
+  w_mode : string;  (** "unbatched", "static w=...", "adaptive" *)
+  w_messages : int;  (** wire messages *)
+  w_payloads : int;  (** logical requests carried *)
+  w_op_mean : float;  (** mean latency over all successful ops *)
+  w_ok_ops : int;
+  w_failed_ops : int;
+  w_audit_clean : bool;
+}
+
+let window_statics = [ 0.5; 1.0; 2.0; 4.0 ]
+
+let window_table ?(seed = 42) () : window_row list =
+  let base ~bursty =
+    if bursty then
+      {
+        Cluster.default_params with
+        n_replicas = 3;
+        n_clients = 4;
+        workload =
+          {
+            Workload.default_spec with
+            ops_per_client = 60;
+            read_fraction = 0.7;
+            zipf_s = 1.1;
+            burst = 8;
+          };
+        seed;
+      }
+    else
+      {
+        Cluster.default_params with
+        n_replicas = 3;
+        n_clients = 4;
+        workload =
+          {
+            Workload.default_spec with
+            ops_per_client = 60;
+            read_fraction = 0.9;
+            zipf_s = 0.0;
+            think_time = 10.0;
+            burst = 1;
+          };
+        seed;
+      }
+  in
+  let modes =
+    ("unbatched", `Unbatched)
+    :: List.map (fun w -> (Fmt.str "static w=%g" w, `Static w)) window_statics
+    @ [ ("adaptive", `Adaptive) ]
+  in
+  List.concat_map
+    (fun (w_workload, bursty) ->
+      List.map
+        (fun (w_mode, m) ->
+          let p = base ~bursty in
+          let p =
+            match m with
+            | `Unbatched -> p
+            | `Static w -> { p with Cluster.batch_window = Some w }
+            | `Adaptive ->
+                { p with
+                  Cluster.adaptive_window = Some Rpc.Window.default_config }
+          in
+          let r = Cluster.run p in
+          {
+            w_workload;
+            w_mode;
+            w_messages = r.Cluster.net.Sim.Net.sent;
+            w_payloads = r.Cluster.net.Sim.Net.payload_sent;
+            w_op_mean = mean_op_latency r;
+            w_ok_ops = r.Cluster.ok_reads + r.Cluster.ok_writes;
+            w_failed_ops = r.Cluster.failed_reads + r.Cluster.failed_writes;
+            w_audit_clean = r.Cluster.audit_violations = [];
+          })
+        modes)
+    [ ("burst-8 zipf", true); ("uniform low-rate", false) ]

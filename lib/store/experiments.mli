@@ -158,3 +158,44 @@ val batching_table : ?seed:int -> unit -> batch_row list
 (** Ablation: multi-key batching on burst-issuing clients, uniform vs
     Zipf-skewed keys — wire messages vs logical payloads, and the p95
     latency cost of the batching window. *)
+
+type io_row = {
+  io_mode : string;  (** "no-storage", "naive-fsync", "group-commit" *)
+  io_installs : int;
+  io_fsyncs : int;
+  io_fsyncs_per_install : float;  (** the amortization measure *)
+  io_write_mean : float;
+  io_write_p95 : float;
+  io_ok_ops : int;
+  io_failed_ops : int;
+  io_audit_clean : bool;
+}
+
+val io_table : ?seed:int -> unit -> io_row list
+(** Ablation: the replica-side apply pipeline under a burst-8 Zipf
+    write-heavy workload with per-write and per-fsync storage costs —
+    naive per-install fsync (1.0 fsyncs/install, serialized) vs group
+    commit (one fsync per drained group), with the free-storage
+    baseline alongside.  The audit must stay clean in every mode. *)
+
+type window_row = {
+  w_workload : string;  (** "burst-8 zipf" or "uniform low-rate" *)
+  w_mode : string;  (** "unbatched", "static w=...", "adaptive" *)
+  w_messages : int;  (** wire messages *)
+  w_payloads : int;  (** logical requests carried *)
+  w_op_mean : float;  (** mean latency over all successful ops *)
+  w_ok_ops : int;
+  w_failed_ops : int;
+  w_audit_clean : bool;
+}
+
+val window_statics : float list
+(** The static windows the ablation sweeps. *)
+
+val window_table : ?seed:int -> unit -> window_row list
+(** Ablation: static batching windows vs the AIMD-controlled adaptive
+    window, on a burst-8 Zipf workload (coalescing pays) and a uniform
+    low-rate workload (any window only adds latency).  The adaptive
+    window should match or beat the best static window's wire-message
+    count on the burst workload while adding no latency on the
+    low-rate one. *)

@@ -11,25 +11,74 @@
     logged to the network's tracer.  A batch frame is answered with a
     single batch reply carrying the answers to each wrapped request in
     order; the per-request counters and trace instants fire exactly as
-    if the requests had arrived separately. *)
+    if the requests had arrived separately.
+
+    {2 The apply pipeline}
+
+    Without a {!Sim.Storage} device (the default) every request is
+    answered synchronously, byte-identically to the historical
+    replica.  With one, installs flow through an apply queue: pending
+    installs are dequeued in groups, applied to the store in version
+    order, and the whole group is acknowledged after {e one} amortized
+    fsync — the group-commit discipline.  Queries keep answering from
+    applied state immediately; installs ack only after durability.
+    Quorum intersection is untouched: an install ack still means the
+    replica holds (at least) that version durably, so any write quorum
+    of acks certifies the version exactly as before — the pipeline
+    delays acks, it never weakens what an ack asserts.  Setting
+    [group_commit] to false degrades the queue to one install (and one
+    fsync) per drain — the naive-fsync baseline of the io ablation. *)
+
+type pending = {
+  p_vn : int;
+  p_key : string;
+  p_value : int;
+  p_ack : unit -> unit;  (** deliver the install ack (post-fsync) *)
+}
 
 type t = {
   name : string;
   data : (string, int * int) Hashtbl.t;  (** key -> (vn, value) *)
   queries : Obs.Metrics.counter;
   installs : Obs.Metrics.counter;
+  storage : Sim.Storage.t option;
+      (** the replica's disk; [None] = free, synchronous installs *)
+  group_commit : bool;  (** drain whole groups vs one install at a time *)
+  queue : pending Queue.t;  (** installs awaiting apply + fsync *)
+  mutable draining : bool;  (** a group is at the device right now *)
+  m_fsyncs : Obs.Metrics.counter option;  (** [replica.fsync] *)
+  m_queue_depth : Obs.Metrics.histogram option;  (** [replica.queue_depth] *)
 }
 
-let create ?metrics ?(extra_labels = []) ~name () =
+let create ?metrics ?(extra_labels = []) ?storage ?(group_commit = true) ~name
+    () =
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
   let labels = ("replica", name) :: extra_labels in
+  (* pipeline instruments only exist on pipelined replicas, so default
+     configurations register nothing new and dump byte-identically *)
+  let m_fsyncs, m_queue_depth =
+    match storage with
+    | None -> (None, None)
+    | Some _ ->
+        ( Some (Obs.Metrics.counter metrics ~labels "replica.fsync"),
+          Some
+            (Obs.Metrics.histogram metrics ~labels
+               ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 |]
+               "replica.queue_depth") )
+  in
   {
     name;
     data = Hashtbl.create 64;
     queries = Obs.Metrics.counter metrics ~labels "store.replica.queries";
     installs = Obs.Metrics.counter metrics ~labels "store.replica.installs";
+    storage;
+    group_commit;
+    queue = Queue.create ();
+    draining = false;
+    m_fsyncs;
+    m_queue_depth;
   }
 
 let lookup t key =
@@ -39,9 +88,64 @@ let lookup t key =
     tunes. *)
 let load t = Obs.Metrics.value t.queries + Obs.Metrics.value t.installs
 
-(* Answer one request (possibly a batch frame, whose parts recurse);
-   non-requests get no reply. *)
-let rec handle_one t ~(tr : Obs.Trace.t) msg =
+let fsyncs t =
+  match t.storage with Some st -> Sim.Storage.fsyncs st | None -> 0
+
+let queue_depth t = Queue.length t.queue
+
+let apply t ~vn ~key ~value =
+  let cur_vn, _ = lookup t key in
+  if vn >= cur_vn then Hashtbl.replace t.data key (vn, value)
+
+(* Drain the apply queue through the storage device: take a group
+   (the whole queue under group commit, one install otherwise), apply
+   it in version order, fsync once, then ack every member — and go
+   again if more arrived meanwhile.  [draining] keeps one group at the
+   device at a time; installs landing mid-drain wait for the next
+   group, which is exactly where the amortization comes from. *)
+let rec drain t =
+  match t.storage with
+  | None -> ()
+  | Some st ->
+      if (not t.draining) && not (Queue.is_empty t.queue) then begin
+        t.draining <- true;
+        let group =
+          if t.group_commit then begin
+            let g = List.of_seq (Queue.to_seq t.queue) in
+            Queue.clear t.queue;
+            g
+          end
+          else [ Queue.pop t.queue ]
+        in
+        (match t.m_queue_depth with
+        | Some h -> Obs.Metrics.observe h (float_of_int (List.length group))
+        | None -> ());
+        (* apply in version order: within a group the store must step
+           through versions monotonically per key, whatever order the
+           installs arrived in *)
+        let ordered =
+          List.stable_sort (fun a b -> compare a.p_vn b.p_vn) group
+        in
+        Sim.Storage.submit st ~writes:(List.length group) (fun () ->
+            List.iter
+              (fun p -> apply t ~vn:p.p_vn ~key:p.p_key ~value:p.p_value)
+              ordered;
+            Sim.Storage.fsync st (fun () ->
+                (match t.m_fsyncs with
+                | Some c -> Obs.Metrics.inc c
+                | None -> ());
+                (* ack in arrival order, only now that the group is
+                   durable *)
+                List.iter (fun p -> p.p_ack ()) group;
+                t.draining <- false;
+                drain t))
+      end
+
+(* Answer one request, delivering each reply through [reply] — possibly
+   asynchronously (a pipelined install acks after its group's fsync; a
+   batch frame replies when its last part has).  Non-requests get no
+   reply. *)
+let rec serve t ~(tr : Obs.Trace.t) ~reply msg =
   match msg with
   | Protocol.Query_req { rid; key } ->
       Obs.Metrics.inc t.queries;
@@ -50,8 +154,8 @@ let rec handle_one t ~(tr : Obs.Trace.t) msg =
           ~args:[ ("key", Obs.Trace.Str key); ("rid", Obs.Trace.Int rid) ]
           ();
       let vn, value = lookup t key in
-      Some (Protocol.Query_rep { rid; key; vn; value })
-  | Protocol.Install_req { rid; key; vn; value } ->
+      reply (Protocol.Query_rep { rid; key; vn; value })
+  | Protocol.Install_req { rid; key; vn; value } -> (
       Obs.Metrics.inc t.installs;
       if Obs.Trace.enabled tr then
         Obs.Trace.instant tr ~cat:"store" ~name:"install" ~track:t.name
@@ -62,9 +166,21 @@ let rec handle_one t ~(tr : Obs.Trace.t) msg =
               ("vn", Obs.Trace.Int vn);
             ]
           ();
-      let cur_vn, _ = lookup t key in
-      if vn >= cur_vn then Hashtbl.replace t.data key (vn, value);
-      Some (Protocol.Install_ack { rid; key })
+      match t.storage with
+      | None ->
+          (* the historical synchronous path: apply and ack in place *)
+          apply t ~vn ~key ~value;
+          reply (Protocol.Install_ack { rid; key })
+      | Some _ ->
+          Queue.add
+            {
+              p_vn = vn;
+              p_key = key;
+              p_value = value;
+              p_ack = (fun () -> reply (Protocol.Install_ack { rid; key }));
+            }
+            t.queue;
+          drain t)
   | Protocol.Batch_req { rid; reqs } ->
       if Obs.Trace.enabled tr then
         Obs.Trace.instant tr ~cat:"store" ~name:"batch" ~track:t.name
@@ -74,19 +190,59 @@ let rec handle_one t ~(tr : Obs.Trace.t) msg =
               ("size", Obs.Trace.Int (List.length reqs));
             ]
           ();
-      let reps = List.filter_map (fun m -> handle_one t ~tr m) reqs in
-      Some (Protocol.Batch_rep { rid; reps })
-  | Protocol.Query_rep _ | Protocol.Install_ack _ | Protocol.Batch_rep _ ->
-      None
+      let n = List.length reqs in
+      if n = 0 then reply (Protocol.Batch_rep { rid; reps = [] })
+      else begin
+        (* one reply slot per part, in frame order; the frame answers
+           once every part that will reply has (pipelined installs make
+           that asynchronous — the batch reply then carries the whole
+           group's acks after their shared fsync) *)
+        let slots = Array.make n None in
+        let remaining = ref n in
+        let part_done () =
+          decr remaining;
+          if !remaining = 0 then
+            reply
+              (Protocol.Batch_rep
+                 {
+                   rid;
+                   reps = List.filter_map Fun.id (Array.to_list slots);
+                 })
+        in
+        List.iteri
+          (fun i part ->
+            match part with
+            | Protocol.Query_req _ | Protocol.Install_req _
+            | Protocol.Batch_req _ ->
+                serve t ~tr part ~reply:(fun rep ->
+                    slots.(i) <- Some rep;
+                    part_done ())
+            | Protocol.Query_rep _ | Protocol.Install_ack _
+            | Protocol.Batch_rep _ ->
+                (* non-requests earn no reply slot, as before *)
+                part_done ())
+          reqs
+      end
+  | Protocol.Query_rep _ | Protocol.Install_ack _ | Protocol.Batch_rep _ -> ()
+
+(* The synchronous view of [serve], for tests and layers that know the
+   replica has no storage device: returns the reply if one was
+   produced in the same instant.  A pipelined install (or a batch
+   containing one) replies later, through [attach]'s path — here that
+   surfaces as [None]. *)
+let handle_one t ~tr msg =
+  let out = ref None in
+  serve t ~tr ~reply:(fun rep -> out := Some rep) msg;
+  !out
 
 (** Attach the replica to the network. *)
 let attach t ~(net : Protocol.msg Sim.Net.t) =
   let tr = Sim.Net.tracer net in
   Sim.Net.register net ~node:t.name (fun ~src msg ->
-      match handle_one t ~tr msg with
-      | None -> ()
-      | Some (Protocol.Batch_rep { reps; _ } as rep) ->
-          Sim.Net.send net ~src:t.name ~dst:src
-            ~payloads:(List.length reps)
-            rep
-      | Some rep -> Sim.Net.send net ~src:t.name ~dst:src rep)
+      serve t ~tr msg ~reply:(fun rep ->
+          match rep with
+          | Protocol.Batch_rep { reps; _ } ->
+              Sim.Net.send net ~src:t.name ~dst:src
+                ~payloads:(List.length reps)
+                rep
+          | rep -> Sim.Net.send net ~src:t.name ~dst:src rep))

@@ -5,33 +5,78 @@
     through [Obs.Metrics] counters labelled with the replica name, and
     handled messages are logged to the network's tracer.  Batch frames
     are answered with one batch reply carrying the per-request
-    answers in order. *)
+    answers in order.
+
+    With a {!Sim.Storage} device attached, installs run through an
+    apply pipeline: they queue, apply in version order, and a whole
+    group acknowledges after one amortized fsync (group commit).
+    Queries answer from applied state immediately; installs ack only
+    after durability, so a write quorum of acks certifies the version
+    exactly as in the synchronous replica.  Without a device (the
+    default) every request is answered synchronously, byte-identically
+    to the historical replica. *)
+
+type pending = {
+  p_vn : int;
+  p_key : string;
+  p_value : int;
+  p_ack : unit -> unit;  (** deliver the install ack (post-fsync) *)
+}
 
 type t = {
   name : string;
   data : (string, int * int) Hashtbl.t;
   queries : Obs.Metrics.counter;
   installs : Obs.Metrics.counter;
+  storage : Sim.Storage.t option;
+      (** the replica's disk; [None] = free, synchronous installs *)
+  group_commit : bool;  (** drain whole groups vs one install at a time *)
+  queue : pending Queue.t;  (** installs awaiting apply + fsync *)
+  mutable draining : bool;  (** a group is at the device right now *)
+  m_fsyncs : Obs.Metrics.counter option;  (** [replica.fsync] *)
+  m_queue_depth : Obs.Metrics.histogram option;  (** [replica.queue_depth] *)
 }
 
 val create :
   ?metrics:Obs.Metrics.t ->
   ?extra_labels:(string * string) list ->
+  ?storage:Sim.Storage.t ->
+  ?group_commit:bool ->
   name:string ->
   unit ->
   t
 (** [metrics] defaults to a private registry; pass a shared one to
     aggregate a whole cluster.  [extra_labels] are appended after
-    [("replica", name)] — e.g. a shard label. *)
+    [("replica", name)] — e.g. a shard label.  [storage] attaches a
+    disk model and routes installs through the apply pipeline;
+    [group_commit] (default true, meaningful only with storage) drains
+    the queue a whole group per fsync rather than one install per
+    fsync.  Pipelined replicas additionally register [replica.fsync]
+    and [replica.queue_depth] instruments. *)
 
 val lookup : t -> string -> int * int
 
 val load : t -> int
 (** Queries + installs handled. *)
 
+val fsyncs : t -> int
+(** Fsyncs completed by the storage device; [0] without one. *)
+
+val queue_depth : t -> int
+(** Installs currently waiting in the apply queue. *)
+
+val serve :
+  t -> tr:Obs.Trace.t -> reply:(Protocol.msg -> unit) -> Protocol.msg -> unit
+(** Process one request, delivering each reply through [reply] —
+    synchronously for queries and storage-free installs, after the
+    group's fsync for pipelined installs; a batch frame replies once
+    its last part has.  Non-requests produce no reply. *)
+
 val handle_one : t -> tr:Obs.Trace.t -> Protocol.msg -> Protocol.msg option
-(** Process one request and return its reply, if any — batch frames
-    recurse over their parts and return one batch reply.  Exposed for
-    tests; [attach] wires this to the network. *)
+(** The synchronous view of {!serve}: the reply produced in the same
+    instant, or [None] — which for a storage-free replica means "no
+    reply at all", and for a pipelined one may mean "ack still queued
+    behind the fsync".  Exposed for tests; [attach] wires {!serve} to
+    the network. *)
 
 val attach : t -> net:Protocol.msg Sim.Net.t -> unit

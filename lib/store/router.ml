@@ -75,7 +75,7 @@ type t = {
 let create ~name ~sim ~net ~(groups : string array array)
     ~(strategies : Strategy.t array) ~(scheme : scheme) ~n_keys
     ?(timeout = 100.0) ?(read_repair = false) ?(targeting = `Broadcast)
-    ?policy ?(seed = 1) ?metrics ?batch_window () =
+    ?policy ?(seed = 1) ?metrics ?batch_window ?adaptive_window () =
   let n_shards = Array.length groups in
   if n_shards < 1 then invalid_arg "Router.create: no shards";
   if Array.length strategies <> n_shards then
@@ -90,7 +90,7 @@ let create ~name ~sim ~net ~(groups : string array array)
         Client.create ~name ~sim ~net ~replicas:group
           ~strategy:strategies.(s) ~timeout ~read_repair ~targeting ?policy
           ~seed:(seed + (7919 * s))
-          ?metrics ?shard ?batch_window ())
+          ?metrics ?shard ?batch_window ?adaptive_window ())
       groups
   in
   let owner = Hashtbl.create 16 in
@@ -135,5 +135,10 @@ let set_batch_window t w =
   Array.iter (fun c -> Client.set_batch_window c w) t.shards
 
 let batch_window t = Client.batch_window t.shards.(0)
+
+let set_adaptive_window t cfg =
+  Array.iter (fun c -> Client.set_adaptive_window c cfg) t.shards
+
+let adaptive_window t = Client.adaptive_window t.shards.(0)
 
 let set_strategy t ~shard s = t.shards.(shard).Client.strategy <- s

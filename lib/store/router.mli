@@ -41,12 +41,14 @@ val create :
   ?seed:int ->
   ?metrics:Obs.Metrics.t ->
   ?batch_window:float ->
+  ?adaptive_window:Rpc.Window.config ->
   unit ->
   t
 (** One shard client per replica group (group [s] gets
     [strategies.(s)], seed [seed + 7919*s], and — when there is more
     than one shard — a [("shard", s)] metric label).  [n_keys] bounds
-    the [`Range] partition.
+    the [`Range] partition.  [adaptive_window] enables AIMD-controlled
+    batching on every shard (see {!Client.create}).
     @raise Invalid_argument on zero shards or mismatched strategies. *)
 
 val n_shards : t -> int
@@ -83,4 +85,11 @@ val set_batch_window : t -> float option -> unit
 (** Apply to every shard (see {!Client.set_batch_window}). *)
 
 val batch_window : t -> float option
+
+val set_adaptive_window : t -> Rpc.Window.config option -> unit
+(** Apply to every shard (see {!Client.set_adaptive_window}). *)
+
+val adaptive_window : t -> Rpc.Window.t option
+(** Shard 0's live controller, if one is installed. *)
+
 val set_strategy : t -> shard:int -> Strategy.t -> unit

@@ -3,4 +3,5 @@ let () =
     (Test_util.suites @ Test_ioa.suites @ Test_serial.suites
    @ Test_quorum.suites @ Test_recon.suites @ Test_cc.suites
    @ Test_sim.suites @ Test_store.suites @ Test_adt.suites @ Test_vp.suites
-   @ Test_obs.suites @ Test_rpc.suites @ Test_shard.suites)
+   @ Test_obs.suites @ Test_rpc.suites @ Test_shard.suites
+   @ Test_pipeline.suites)

@@ -12,9 +12,9 @@ module Policy = Rpc.Policy
 
 (* ---------- a minimal echo protocol over Sim.Net ---------- *)
 
-type msg = Req of int | Rep of int
+type msg = Req of int | Rep of int | Batch of int * msg list
 
-let rid_of = function Req r | Rep r -> r
+let rid_of = function Req r | Rep r | Batch (r, _) -> r
 let servers = List.init 5 (fun i -> Fmt.str "s%d" i)
 
 let make_world ~seed ?policy ?(loss = 0.0) () =
@@ -25,6 +25,13 @@ let make_world ~seed ?policy ?(loss = 0.0) () =
       Net.register net ~node:s (fun ~src msg ->
           match msg with
           | Req r -> Net.send net ~src:s ~dst:src (Rep r)
+          | Batch (r, parts) ->
+              Net.send net ~src:s ~dst:src
+                (Batch
+                   ( r,
+                     List.filter_map
+                       (function Req p -> Some (Rep p) | _ -> None)
+                       parts ))
           | Rep _ -> ()))
     servers;
   let eng = Engine.create ~name:"c" ~sim ~net ~rid_of ?policy () in
@@ -185,6 +192,49 @@ let prop_retry_delay_bounds =
       let base = 5.0 *. (2.0 ** float_of_int (attempt - 2)) in
       d >= base *. 0.8 -. 1e-9 && d <= base *. 1.2 +. 1e-9)
 
+(* ---------- batching: mid-flight disable ---------- *)
+
+let echo_batching ~window =
+  {
+    Engine.window;
+    wrap = (fun ~rid parts -> Batch (rid, parts));
+    unwrap = (function Batch (_, parts) -> Some parts | _ -> None);
+  }
+
+let test_disable_batching_mid_flight () =
+  (* two ops queue their sends under a window far beyond the op
+     timeout; disabling batching before the flush timer fires must
+     send them immediately (unwrapped) — stranding them until the
+     armed timer would time both ops out *)
+  let sim, _net, eng = make_world ~seed:11 () in
+  Engine.set_batching eng (Some (echo_batching ~window:100.0));
+  let o1 = gather ~sim ~eng ~k:3 ~timeout:50.0 () in
+  let o2 = gather ~sim ~eng ~k:3 ~timeout:50.0 () in
+  Core.schedule sim ~delay:5.0 (fun () -> Engine.set_batching eng None);
+  Core.run sim;
+  (match (!o1, !o2) with
+  | `Ok t1, `Ok t2 ->
+      Alcotest.(check bool)
+        (Fmt.str "completions are prompt (%.1f, %.1f)" t1 t2)
+        true
+        (t1 < 50.0 && t2 < 50.0)
+  | _ -> Alcotest.fail "both pending ops must complete after the disable");
+  Alcotest.(check int) "pending table drained" 0 (Engine.pending_count eng);
+  (* and batch replies still in flight complete after a disable: queue
+     under a short window, disable after the flush but before the
+     replies land *)
+  let sim, _net, eng = make_world ~seed:12 () in
+  Engine.set_batching eng (Some (echo_batching ~window:1.0));
+  let o3 = gather ~sim ~eng ~k:3 ~timeout:50.0 () in
+  let o4 = gather ~sim ~eng ~k:3 ~timeout:50.0 () in
+  (* the flush fires at t=1; replies are in flight by t=1.5 *)
+  Core.schedule sim ~delay:1.5 (fun () -> Engine.set_batching eng None);
+  Core.run sim;
+  (match (!o3, !o4) with
+  | `Ok _, `Ok _ -> ()
+  | _ -> Alcotest.fail "in-flight batch replies must still unwrap");
+  Alcotest.(check int) "pending table drained" 0 (Engine.pending_count eng)
+
 (* ---------- determinism with retries + loss ---------- *)
 
 let lossy_retry_run seed =
@@ -318,6 +368,8 @@ let suites =
         Alcotest.test_case "hedge falls back past a dead server" `Quick
           test_hedge_falls_back;
         Alcotest.test_case "policy validation" `Quick test_policy_validation;
+        Alcotest.test_case "disabling batching mid-flight flushes the queue"
+          `Quick test_disable_batching_mid_flight;
         qcheck prop_retry_delay_bounds;
         Alcotest.test_case "lossy retries are seed-deterministic" `Quick
           test_lossy_retry_deterministic;

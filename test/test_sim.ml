@@ -242,6 +242,47 @@ let test_stats_merge () =
   Alcotest.(check int) "b unchanged" 2
     (Sim.Stats.summarize b).Sim.Stats.count
 
+let test_stats_merge_weighted_mean () =
+  (* the merged mean is the count-weighted mean of the parts, not the
+     mean of the two means — unequal sample counts expose the
+     difference *)
+  let a = Sim.Stats.of_list [ 10.0 ] in
+  let b = Sim.Stats.of_list [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0 ] in
+  let m = Sim.Stats.summarize (Sim.Stats.merge a b) in
+  let sa = Sim.Stats.summarize a and sb = Sim.Stats.summarize b in
+  let weighted =
+    ((sa.Sim.Stats.mean *. float_of_int sa.Sim.Stats.count)
+    +. (sb.Sim.Stats.mean *. float_of_int sb.Sim.Stats.count))
+    /. float_of_int (sa.Sim.Stats.count + sb.Sim.Stats.count)
+  in
+  Alcotest.(check (float 1e-9)) "count-weighted mean" weighted m.Sim.Stats.mean;
+  Alcotest.(check bool) "differs from mean-of-means" true
+    (Float.abs (m.Sim.Stats.mean -. ((sa.Sim.Stats.mean +. sb.Sim.Stats.mean) /. 2.0))
+    > 0.1)
+
+let prop_stats_merge_order_independent =
+  QCheck.Test.make ~count:100 ~name:"Stats.merge is order-independent"
+    QCheck.(
+      pair
+        (list (float_bound_exclusive 1000.0))
+        (list (float_bound_exclusive 1000.0)))
+    (fun (xs, ys) ->
+      let s1 =
+        Sim.Stats.summarize
+          (Sim.Stats.merge (Sim.Stats.of_list xs) (Sim.Stats.of_list ys))
+      in
+      let s2 =
+        Sim.Stats.summarize
+          (Sim.Stats.merge (Sim.Stats.of_list ys) (Sim.Stats.of_list xs))
+      in
+      s1.Sim.Stats.count = s2.Sim.Stats.count
+      && (s1.Sim.Stats.count = 0
+         || Float.abs (s1.Sim.Stats.mean -. s2.Sim.Stats.mean) <= 1e-9
+            && s1.Sim.Stats.p50 = s2.Sim.Stats.p50
+            && s1.Sim.Stats.p95 = s2.Sim.Stats.p95
+            && s1.Sim.Stats.p999 = s2.Sim.Stats.p999
+            && s1.Sim.Stats.max = s2.Sim.Stats.max))
+
 (* ---------- drop-reason accounting ---------- *)
 
 let test_drop_reasons () =
@@ -320,5 +361,8 @@ let suites =
         Alcotest.test_case "p95/p999 in summary" `Quick
           test_stats_p95_p999_summary;
         Alcotest.test_case "merge" `Quick test_stats_merge;
+        Alcotest.test_case "merge mean is count-weighted" `Quick
+          test_stats_merge_weighted_mean;
+        qcheck prop_stats_merge_order_independent;
       ] );
   ]
