@@ -1,0 +1,70 @@
+(* Determinism lint + static quorum checker, CI-gated.
+
+     lint.exe [--json FILE] PATH...     lint every .ml under PATHs
+     lint.exe quorum [--json FILE]      static quorum-intersection check
+
+   Exit codes: 0 clean, 1 findings/violations, 2 usage or I/O error.
+
+   The code lint walks parse trees (compiler-libs) for the three
+   determinism rules (effect ban, Hashtbl iteration order, float
+   comparison) plus pragma hygiene; the quorum subcommand verifies
+   read/write and write/write intersection, minimality and
+   non-domination for every shipped configuration family without
+   running the simulator.  See DESIGN.md section 12. *)
+
+let usage () =
+  Fmt.epr
+    "usage: lint.exe [--json FILE] PATH...@.       lint.exe quorum [--json \
+     FILE]@.";
+  exit 2
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* --json FILE anywhere in the argument list; the rest are operands *)
+let split_json args =
+  let rec go json rev = function
+    | [] -> (json, List.rev rev)
+    | "--json" :: file :: rest -> go (Some file) rev rest
+    | [ "--json" ] -> usage ()
+    | a :: rest -> go json (a :: rev) rest
+  in
+  go None [] args
+
+let run_quorum json =
+  let summary =
+    match Lint.Quorum_check.run () with Ok s -> s | Error s -> s
+  in
+  Fmt.pr "%a" Lint.Quorum_check.pp_summary summary;
+  Option.iter
+    (fun file -> write_file file (Lint.Quorum_check.to_json summary))
+    json;
+  exit (if summary.Lint.Quorum_check.violations = [] then 0 else 1)
+
+let run_lint json paths =
+  match Lint.Rules.lint_paths paths with
+  | Error e ->
+      Fmt.epr "lint: %s@." e;
+      exit 2
+  | Ok findings ->
+      Option.iter
+        (fun file -> write_file file (Lint.Report.to_json findings))
+        json;
+      if findings = [] then begin
+        Fmt.pr "lint: clean (%s)@." (String.concat " " paths);
+        exit 0
+      end
+      else begin
+        Fmt.pr "%s@." (Lint.Report.to_text findings);
+        Fmt.pr "lint: %d finding(s)@." (List.length findings);
+        exit 1
+      end
+
+let () =
+  match split_json (List.tl (Array.to_list Sys.argv)) with
+  | json, [ "quorum" ] -> run_quorum json
+  | _, [] -> usage ()
+  | json, paths -> run_lint json paths

@@ -30,6 +30,9 @@
                         (default; all state is reset)
      storage off        rebuild without storage (all state is reset)
      balance            per-replica load, per-shard totals and spread
+     lint               statically check every shard's quorum
+                        configuration (intersection, minimality,
+                        non-domination) without touching the simulation
      stats              ops / network counters
      metrics            dump the metrics registry
      trace FILE         write the session's Chrome trace (Perfetto)
@@ -144,6 +147,45 @@ let parse_storage = function
       | _ -> Error "costs must be finite numbers >= 0")
   | _ -> Error "usage: storage [W F [naive|group] | off]"
 
+(* Statically verify every shard's live quorum configuration: lower
+   the bitmask strategy to an explicit {!Quorum.Config} over the
+   shard's replica names and run the lint's quorum checker on it —
+   the same verdicts `lint.exe quorum` computes, but against the world
+   the shell actually routes to. *)
+let lint_world w =
+  let shard s =
+    let group = Store.Router.replicas w.router ~shard:s in
+    let strat = Store.Router.strategy w.router ~shard:s in
+    let n = strat.Store.Strategy.n in
+    if Array.length group <> n then
+      Error
+        (Fmt.str "shard %d: %d replicas but strategy %s expects %d" s
+           (Array.length group) strat.Store.Strategy.name n)
+    else
+      let names_of mask =
+        List.filter_map
+          (fun i -> if mask land (1 lsl i) <> 0 then Some group.(i) else None)
+          (List.init n Fun.id)
+      in
+      let config =
+        Quorum.Config.make
+          ~read_quorums:
+            (List.map names_of (Store.Strategy.minimal_read_quorums strat))
+          ~write_quorums:
+            (List.map names_of (Store.Strategy.minimal_write_quorums strat))
+      in
+      Ok
+        (Lint.Quorum_check.check_config
+           ~name:(Fmt.str "shard%d:%s" s strat.Store.Strategy.name)
+           config)
+  in
+  let rec go s acc =
+    if s >= Store.Router.n_shards w.router then Ok (List.rev acc)
+    else
+      match shard s with Error e -> Error e | Ok v -> go (s + 1) (v :: acc)
+  in
+  go 0 []
+
 (* batch W | batch off — [Ok None] means "just show the window" *)
 let parse_batch = function
   | [] -> Ok None
@@ -184,8 +226,8 @@ let () =
               "put KEY INT | get KEY | crash NODE | recover NODE | cut A B | \
                heal A B | dump | policy [retries N | hedge D | off] | loss P | \
                shards [N [hash|range]] | batch [W | off] | window [adaptive | \
-               off] | storage [W F [naive|group] | off] | balance | stats | \
-               metrics | trace FILE | quit@.";
+               off] | storage [W F [naive|group] | off] | balance | lint | \
+               stats | metrics | trace FILE | quit@.";
             loop ()
         | [ "put"; key; v ] ->
             (match int_of_string_opt v with
@@ -377,6 +419,23 @@ let () =
             in
             Fmt.pr "total load %d | shard imbalance (max/mean) %.2f@." total
               imbalance;
+            loop ()
+        | [ "lint" ] ->
+            (match lint_world !w with
+            | Error e -> Fmt.pr "lint: %s@." e
+            | Ok verdicts ->
+                List.iter
+                  (fun v -> Fmt.pr "%a@." Lint.Quorum_check.pp_verdict v)
+                  verdicts;
+                let ok v =
+                  v.Lint.Quorum_check.legal_rw
+                  && v.Lint.Quorum_check.minimize_preserves
+                in
+                if List.for_all ok verdicts then
+                  Fmt.pr "lint: %d shard configuration%s legal@."
+                    (List.length verdicts)
+                    (if List.length verdicts = 1 then "" else "s")
+                else Fmt.pr "lint: ILLEGAL shard configuration@.");
             loop ()
         | [ "metrics" ] ->
             Fmt.pr "%s%!" (Obs.Metrics.dump !w.metrics);

@@ -171,6 +171,8 @@ let finish_commit t (n : node) (v : Value.t) =
    eventually breaks. *)
 let in_deadlock t (start_top : Txn.t) : bool =
   let edges =
+    (* edge order cannot change the existential reachability below *)
+    (* lint: order-insensitive *)
     Hashtbl.fold
       (fun _ n acc ->
         match n.status with
@@ -467,15 +469,22 @@ let step_access t (n : node) ~obj ~akind ~payload ~initial =
 
 (* ---------- the main loop ---------- *)
 
+(* Canonical (Txn-ordered) menu for the seeded scheduler: the PRNG
+   picks an index, so the list order is part of the run — it must
+   come from the transaction names, never from hash-bucket order. *)
 let runnable t =
+  (* lint: order-insensitive *)
   Hashtbl.fold
     (fun _ n acc ->
       match n.status with
       | Running | Blocked _ -> n :: acc
       | Finished _ -> acc)
     t.nodes []
+  |> List.sort (fun a b -> Txn.compare a.name b.name)
 
 let live_top_levels t =
+  (* a commutative count over entries *)
+  (* lint: order-insensitive *)
   Hashtbl.fold
     (fun name n acc ->
       match (name, n.status) with
@@ -543,12 +552,14 @@ let run ?(max_steps = 200_000) (t : t) : run_log =
   in
   loop ();
   let outcomes =
+    (* lint: order-insensitive *)
     Hashtbl.fold
       (fun name n acc ->
         match n.status with
         | Finished o -> (name, o) :: acc
         | Running | Blocked _ -> (name, Aborted) :: acc)
       t.nodes []
+    |> List.sort (fun (a, _) (b, _) -> Txn.compare a b)
   in
   let all_values =
     match t.mode with

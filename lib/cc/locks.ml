@@ -96,6 +96,8 @@ let write_unlocked t ~obj ~initial ~who v =
     its locks are released. *)
 let commit t (who : Txn.t) =
   let parent = Txn.parent who in
+  (* per-entry mutation, no cross-entry dataflow *)
+  (* lint: order-insensitive *)
   Hashtbl.iter
     (fun _ e ->
       if Txn.is_root parent then begin
@@ -125,6 +127,8 @@ let commit t (who : Txn.t) =
 (** Abort: drop all locks and versions held by [who] or any of its
     descendants (the whole subtree aborts together). *)
 let abort t (who : Txn.t) =
+  (* per-entry mutation, no cross-entry dataflow *)
+  (* lint: order-insensitive *)
   Hashtbl.iter
     (fun _ e ->
       e.write_stack <-
@@ -133,15 +137,22 @@ let abort t (who : Txn.t) =
         List.filter (fun h -> not (Txn.is_ancestor who h)) e.read_holders)
     t.table
 
-(** Final committed value of every object touched. *)
-let committed_values t =
-  Hashtbl.fold (fun obj e acc -> (obj, e.base) :: acc) t.table []
+let by_obj (o1, _) (o2, _) = String.compare o1 o2
 
-(** Any live (uncommitted-to-root) lock holders left?  Used by tests
-    to assert clean termination. *)
+(** Final committed value of every object touched, sorted by object
+    name — hash-bucket order must not reach test assertions. *)
+let committed_values t =
+  (* lint: order-insensitive *)
+  Hashtbl.fold (fun obj e acc -> (obj, e.base) :: acc) t.table []
+  |> List.sort by_obj
+
+(** Any live (uncommitted-to-root) lock holders left?  Sorted by
+    object name; used by tests to assert clean termination. *)
 let residual_holders t =
+  (* lint: order-insensitive *)
   Hashtbl.fold
     (fun obj e acc ->
       let hs = List.map fst e.write_stack @ e.read_holders in
       if hs = [] then acc else (obj, hs) :: acc)
     t.table []
+  |> List.sort by_obj

@@ -133,7 +133,7 @@ let try_write t ~obj ~initial ~who value : write_result =
            subtree later aborts (nested recovery). *)
         s.versions <-
           List.sort
-            (fun a b -> compare b.write_ts a.write_ts)
+            (fun a b -> Int.compare b.write_ts a.write_ts)
             (nv :: s.versions);
         WOk
       end
@@ -141,6 +141,8 @@ let try_write t ~obj ~initial ~who value : write_result =
 (** Commit: a top-level commit publishes its versions. *)
 let commit t (who : Txn.t) =
   if (not (Txn.is_root who)) && Txn.is_root (Txn.parent who) then
+    (* per-entry mutation, no cross-entry dataflow *)
+    (* lint: order-insensitive *)
     Hashtbl.iter
       (fun _ s ->
         List.iter
@@ -150,24 +152,31 @@ let commit t (who : Txn.t) =
 
 (** Abort: discard the versions written inside the aborting subtree. *)
 let abort t (who : Txn.t) =
+  (* per-entry mutation, no cross-entry dataflow *)
+  (* lint: order-insensitive *)
   Hashtbl.iter
     (fun _ s ->
       s.versions <-
         List.filter (fun v -> not (Txn.is_ancestor who v.writer)) s.versions)
     t.objects
 
-(** Final committed value per object: the committed version with the
-    largest write timestamp. *)
+(** Final committed value per object (the committed version with the
+    largest write timestamp), sorted by object name — hash-bucket
+    order must not reach test assertions. *)
 let committed_values t =
+  (* lint: order-insensitive *)
   Hashtbl.fold
     (fun obj s acc ->
       match List.find_opt (fun v -> v.committed) s.versions with
       | Some v -> (obj, v.value) :: acc
       | None -> acc)
     t.objects []
+  |> List.sort (fun (o1, _) (o2, _) -> String.compare o1 o2)
 
 (** Residual uncommitted versions (0 after a clean run). *)
 let residual t =
+  (* a commutative sum over entries *)
+  (* lint: order-insensitive *)
   Hashtbl.fold
     (fun _ s acc ->
       acc + List.length (List.filter (fun v -> not v.committed) s.versions))
@@ -178,7 +187,7 @@ let residual t =
 let serial_order t (committed_tops : Txn.t list) : Txn.t list =
   List.sort
     (fun a b ->
-      compare
+      Int.compare
         (Option.value ~default:0 (Hashtbl.find_opt t.ts_of a))
         (Option.value ~default:0 (Hashtbl.find_opt t.ts_of b)))
     committed_tops

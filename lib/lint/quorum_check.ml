@@ -1,0 +1,311 @@
+(** Static quorum-intersection checking — the paper's load-bearing
+    invariant, verified before any run starts.
+
+    The source paper's correctness argument (and the Lemma 8 checkers
+    in {!Quorum.Invariants}) rest on one structural property of every
+    configuration: {e every read-quorum intersects every write-quorum}.
+    This module verifies that property — plus write/write intersection,
+    coterie minimality, and Barbara–Garcia-Molina non-domination —
+    exhaustively, for every strategy family shipped in
+    {!Quorum.Config} and for seeded samples of {!Quorum.Gen}'s random
+    configuration space, {e without running the simulator}.
+
+    The intersection test here is an independent implementation
+    (bitmasks over the member universe) of the list-based
+    {!Quorum.Config.legal}; the checker cross-checks the two on every
+    configuration, and a qcheck property in the test suite does the
+    same over random configurations.  Two implementations disagreeing
+    is a checker bug surfaced before it can hide a real one. *)
+
+module Config = Quorum.Config
+module Coterie = Quorum.Coterie
+module Prng = Qc_util.Prng
+
+(* ---------- independent bitmask legality ---------- *)
+
+let masks_of (c : Config.t) =
+  let universe = Config.members c in
+  let index d =
+    let rec go i = function
+      | [] -> invalid_arg "Quorum_check: DM outside the member universe"
+      | x :: rest -> if String.equal x d then i else go (i + 1) rest
+    in
+    go 0 universe
+  in
+  let mask q = List.fold_left (fun m d -> m lor (1 lsl index d)) 0 q in
+  ( universe,
+    List.map mask c.Config.read_quorums,
+    List.map mask c.Config.write_quorums )
+
+(** [accepts c]: every read-quorum intersects every write-quorum, by
+    bitmask enumeration — the invariant the replication algorithm
+    cannot run without. *)
+let accepts (c : Config.t) =
+  let _, rs, ws = masks_of c in
+  rs <> [] && ws <> []
+  && List.for_all (fun r -> List.for_all (fun w -> r land w <> 0) ws) rs
+
+(* ---------- per-configuration verdict ---------- *)
+
+type verdict = {
+  name : string;
+  universe : int;  (** |members| *)
+  n_read : int;
+  n_write : int;
+  legal_rw : bool;  (** read/write intersection (required) *)
+  ww_intersects : bool;  (** write side pairwise intersects *)
+  nd : bool option;  (** non-domination of the write coterie, when one *)
+  minimal : bool;  (** both sides are antichains without duplicates *)
+  minimize_preserves : bool;
+      (** coverage predicates unchanged by {!Coterie.minimize_config} *)
+}
+
+let subset_mask a b = a land lnot b = 0
+
+let antichain masks =
+  let rec go = function
+    | [] -> true
+    | m :: rest ->
+        List.for_all
+          (fun m' -> not (subset_mask m m' || subset_mask m' m))
+          rest
+        && go rest
+  in
+  go masks
+
+(* Exhaustive: minimization must not change what sets are covered. *)
+let minimization_preserves_coverage (c : Config.t) =
+  let universe = Config.members c in
+  let n = List.length universe in
+  if n > 16 then true (* out of enumeration range; catalog stays small *)
+  else
+    let m = Coterie.minimize_config c in
+    let rec subsets acc = function
+      | [] -> acc
+      | d :: rest ->
+          subsets (acc @ List.map (fun s -> d :: s) acc) rest
+    in
+    List.for_all
+      (fun s ->
+        Bool.equal (Config.read_covered c s) (Config.read_covered m s)
+        && Bool.equal (Config.write_covered c s) (Config.write_covered m s))
+      (subsets [ [] ] universe)
+
+let check_config ~name (c : Config.t) : verdict =
+  let universe, rs, ws = masks_of c in
+  let ww_intersects =
+    ws <> []
+    && List.for_all (fun a -> List.for_all (fun b -> a land b <> 0) ws) ws
+  in
+  let nd =
+    match Coterie.of_write_side c with
+    | Some cot -> Some (Coterie.non_dominated cot)
+    | None -> None
+  in
+  {
+    name;
+    universe = List.length universe;
+    n_read = List.length rs;
+    n_write = List.length ws;
+    legal_rw = accepts c;
+    ww_intersects;
+    nd;
+    minimal = antichain rs && antichain ws;
+    minimize_preserves = minimization_preserves_coverage c;
+  }
+
+(* ---------- the shipped catalog ---------- *)
+
+type expect = {
+  exp_ww : bool option;
+  exp_nd : bool option;
+  exp_minimal : bool option;
+}
+
+let free = { exp_ww = None; exp_nd = None; exp_minimal = None }
+
+let dms n = List.init n (fun i -> Fmt.str "d%d" i)
+
+(** Every configuration family shipped in [lib/quorum], over small
+    universes, with the structural expectations the constructions
+    promise; plus seeded samples of the random generator.  The list is
+    deterministic — same catalog every run. *)
+let catalog () : (string * expect * Config.t) list =
+  let named = ref [] in
+  let push name expect c = named := (name, expect, c) :: !named in
+  for n = 1 to 6 do
+    let u = dms n in
+    push (Fmt.str "rowa-%d" n)
+      {
+        exp_ww = Some true;
+        (* the single write quorum {U} is dominated by any smaller
+           coterie as soon as |U| > 1 *)
+        exp_nd = Some (n = 1);
+        exp_minimal = Some true;
+      }
+      (Config.rowa u);
+    push (Fmt.str "raow-%d" n)
+      {
+        (* write side = disjoint singletons: no w/w intersection for
+           n > 1 — exactly the generalization beyond coteries the
+           paper's algorithm tolerates *)
+        exp_ww = Some (n = 1);
+        exp_nd = None;
+        exp_minimal = Some true;
+      }
+      (Config.raow u);
+    push (Fmt.str "majority-%d" n)
+      {
+        exp_ww = Some true;
+        (* the classic result: majorities are non-dominated exactly
+           at odd n *)
+        exp_nd = Some (n mod 2 = 1);
+        exp_minimal = Some true;
+      }
+      (Config.majority u)
+  done;
+  push "weighted-1.1.1-r2w2"
+    { exp_ww = Some true; exp_nd = Some true; exp_minimal = Some true }
+    (Config.weighted
+       ~votes:[ ("d0", 1); ("d1", 1); ("d2", 1) ]
+       ~read_threshold:2 ~write_threshold:2);
+  push "weighted-2.1.1-r2w3"
+    { exp_ww = Some true; exp_nd = Some false; exp_minimal = Some true }
+    (Config.weighted
+       ~votes:[ ("d0", 2); ("d1", 1); ("d2", 1) ]
+       ~read_threshold:2 ~write_threshold:3);
+  push "weighted-3.2.1.1-r4w4"
+    { free with exp_ww = Some true; exp_minimal = Some true }
+    (Config.weighted
+       ~votes:[ ("d0", 3); ("d1", 2); ("d2", 1); ("d3", 1) ]
+       ~read_threshold:4 ~write_threshold:4);
+  List.iter
+    (fun (rows, cols) ->
+      push
+        (Fmt.str "grid-%dx%d" rows cols)
+        (* any two write quorums intersect: each contains a full row
+           and a one-per-row cover *)
+        { free with exp_ww = Some true }
+        (Config.grid ~rows ~cols (dms (rows * cols))))
+    [ (1, 4); (4, 1); (2, 2); (2, 3); (3, 2); (3, 3) ];
+  (* seeded samples of the random-generation space: same seeds, same
+     configurations, every run *)
+  for seed = 0 to 99 do
+    let rng = Prng.create seed in
+    let n = 1 + Prng.int rng 5 in
+    push (Fmt.str "gen-seed%d" seed) free (Quorum.Gen.config rng (dms n))
+  done;
+  List.rev !named
+
+(* ---------- the checker ---------- *)
+
+type summary = {
+  checked : int;
+  verdicts : verdict list;
+  violations : string list;  (** empty = the catalog is sound *)
+}
+
+let check_entry (name, expect, c) (verdicts, violations) =
+  let v = check_config ~name c in
+  let fail fmt = Fmt.kstr (fun s -> Fmt.str "%s: %s" name s) fmt in
+  let expect_bool what expected actual acc =
+    match expected with
+    | Some e when not (Bool.equal e actual) ->
+        fail "%s = %b, construction promises %b" what actual e :: acc
+    | _ -> acc
+  in
+  let violations =
+    (if not v.legal_rw then
+       [ fail "read/write intersection VIOLATED — illegal configuration" ]
+     else [])
+    @ (if not (Bool.equal v.legal_rw (Config.legal c)) then
+         [
+           fail
+             "static (bitmask) and dynamic (Config.legal) legality disagree \
+              (%b vs %b)"
+             v.legal_rw (Config.legal c);
+         ]
+       else [])
+    @ (if not v.minimize_preserves then
+         [ fail "minimization changes quorum coverage" ]
+       else [])
+    @ (match Coterie.of_write_side c with
+      | Some cot ->
+          let witness = Coterie.domination_witness cot in
+          let nd = Coterie.non_dominated cot in
+          if Bool.equal nd (Option.is_none witness) then []
+          else [ fail "non_dominated and domination_witness disagree" ]
+      | None -> [])
+    @ expect_bool "write/write intersection" expect.exp_ww v.ww_intersects []
+    @ (match (expect.exp_nd, v.nd) with
+      | Some e, Some actual when not (Bool.equal e actual) ->
+          [ fail "non-domination = %b, construction promises %b" actual e ]
+      | Some _, None ->
+          [ fail "expected a write-side coterie, found none" ]
+      | _ -> [])
+    @ expect_bool "minimality" expect.exp_minimal v.minimal []
+    @ violations
+  in
+  (v :: verdicts, violations)
+
+(** Run the full catalog.  [Ok summary] means every configuration
+    satisfies read/write intersection, both legality implementations
+    agree, minimization preserves coverage, and every structural
+    promise of the constructors holds. *)
+let run () : (summary, summary) result =
+  let verdicts, violations =
+    List.fold_right check_entry (catalog ()) ([], [])
+  in
+  let s =
+    { checked = List.length verdicts; verdicts; violations }
+  in
+  if violations = [] then Ok s else Error s
+
+(* ---------- rendering ---------- *)
+
+let pp_verdict ppf v =
+  let bopt = function None -> "-" | Some true -> "yes" | Some false -> "no" in
+  Fmt.pf ppf "%-22s |U|=%d r=%-3d w=%-3d rw:%-3s ww:%-3s nd:%-3s min:%-3s"
+    v.name v.universe v.n_read v.n_write
+    (if v.legal_rw then "yes" else "NO")
+    (if v.ww_intersects then "yes" else "no")
+    (bopt v.nd)
+    (if v.minimal then "yes" else "no")
+
+let pp_summary ppf s =
+  Fmt.pf ppf "checked %d configurations@." s.checked;
+  List.iter (fun v -> Fmt.pf ppf "  %a@." pp_verdict v) s.verdicts;
+  match s.violations with
+  | [] -> Fmt.pf ppf "quorum check: OK@."
+  | vs ->
+      Fmt.pf ppf "quorum check: %d VIOLATION(S)@." (List.length vs);
+      List.iter (fun v -> Fmt.pf ppf "  %s@." v) vs
+
+let json_of_verdict v : Obs.Json.t =
+  let bopt = function
+    | None -> Obs.Json.Null
+    | Some b -> Obs.Json.Bool b
+  in
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str v.name);
+      ("universe", Obs.Json.Num (float_of_int v.universe));
+      ("read_quorums", Obs.Json.Num (float_of_int v.n_read));
+      ("write_quorums", Obs.Json.Num (float_of_int v.n_write));
+      ("legal_rw", Obs.Json.Bool v.legal_rw);
+      ("ww_intersects", Obs.Json.Bool v.ww_intersects);
+      ("non_dominated", bopt v.nd);
+      ("minimal", Obs.Json.Bool v.minimal);
+      ("minimize_preserves", Obs.Json.Bool v.minimize_preserves);
+    ]
+
+let to_json (s : summary) =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("ok", Obs.Json.Bool (s.violations = []));
+         ("checked", Obs.Json.Num (float_of_int s.checked));
+         ( "violations",
+           Obs.Json.List (List.map (fun v -> Obs.Json.Str v) s.violations) );
+         ("entries", Obs.Json.List (List.map json_of_verdict s.verdicts));
+       ])

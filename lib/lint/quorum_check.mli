@@ -1,0 +1,50 @@
+(** Static quorum-intersection checker: exhaustively verifies
+    read/write and write/write intersection, coterie minimality and
+    non-domination for every configuration family shipped in
+    [lib/quorum] — without running the simulator. *)
+
+module Config = Quorum.Config
+
+val accepts : Config.t -> bool
+(** Every read-quorum intersects every write-quorum — checked by an
+    independent bitmask implementation (cross-validated against the
+    list-based {!Quorum.Config.legal} by the checker and by a qcheck
+    property). *)
+
+type verdict = {
+  name : string;
+  universe : int;
+  n_read : int;
+  n_write : int;
+  legal_rw : bool;
+  ww_intersects : bool;
+  nd : bool option;  (** non-domination, when the write side is a coterie *)
+  minimal : bool;
+  minimize_preserves : bool;
+}
+
+val check_config : name:string -> Config.t -> verdict
+
+type expect = {
+  exp_ww : bool option;
+  exp_nd : bool option;
+  exp_minimal : bool option;
+}
+
+val catalog : unit -> (string * expect * Config.t) list
+(** Deterministic: all constructor families over small universes plus
+    seeded {!Quorum.Gen} samples, with the structural expectations the
+    constructions promise. *)
+
+type summary = {
+  checked : int;
+  verdicts : verdict list;
+  violations : string list;
+}
+
+val run : unit -> (summary, summary) result
+(** [Error] carries the summary with its non-empty [violations]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_summary : Format.formatter -> summary -> unit
+val to_json : summary -> string

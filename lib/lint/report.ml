@@ -1,0 +1,53 @@
+(** Lint findings and reporters.
+
+    A finding pins one rule violation to an exact [file:line:col].
+    Reporters are deterministic: findings are emitted in
+    (file, line, col, rule) order, so two runs over the same tree
+    produce identical bytes — the reports themselves obey the
+    determinism discipline they enforce. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;  (** 0-based, as the compiler counts *)
+  rule : string;
+  msg : string;
+}
+
+let compare_finding a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let sort findings = List.sort_uniq compare_finding findings
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+let to_text findings =
+  Fmt.str "%a"
+    Fmt.(list ~sep:(any "@.") pp_finding)
+    (sort findings)
+
+let json_of_finding f : Obs.Json.t =
+  Obs.Json.Obj
+    [
+      ("file", Obs.Json.Str f.file);
+      ("line", Obs.Json.Num (float_of_int f.line));
+      ("col", Obs.Json.Num (float_of_int f.col));
+      ("rule", Obs.Json.Str f.rule);
+      ("msg", Obs.Json.Str f.msg);
+    ]
+
+let to_json findings =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("findings", Obs.Json.List (List.map json_of_finding (sort findings)));
+         ("count", Obs.Json.Num (float_of_int (List.length findings)));
+       ])

@@ -1,0 +1,24 @@
+(** Lint findings and deterministic text/JSON reporters. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;  (** 0-based, as the compiler counts *)
+  rule : string;
+  msg : string;
+}
+
+val compare_finding : finding -> finding -> int
+(** (file, line, col, rule) order. *)
+
+val sort : finding list -> finding list
+(** Sorted and deduplicated — report order never depends on discovery
+    order. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line:col: [rule] message]. *)
+
+val to_text : finding list -> string
+
+val to_json : finding list -> string
+(** [{"findings": [...], "count": n}], deterministic bytes. *)

@@ -32,7 +32,11 @@ type t = {
 
 let create () = { tbl = Hashtbl.create 32; order = [] }
 
-let canonical labels = List.sort compare labels
+let compare_label (k1, v1) (k2, v2) =
+  let c = String.compare k1 k2 in
+  if c <> 0 then c else String.compare v1 v2
+
+let canonical labels = List.sort compare_label labels
 
 let find_or_add t ~name ~labels make classify =
   let key = { name; labels = canonical labels } in

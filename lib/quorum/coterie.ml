@@ -39,7 +39,7 @@ let intersects a b = a land b <> 0
 
 (** Drop non-minimal quorums (keep the antichain of minimal ones). *)
 let minimize (masks : int list) : int list =
-  let masks = List.sort_uniq compare masks in
+  let masks = List.sort_uniq Int.compare masks in
   List.filter
     (fun q -> not (List.exists (fun q' -> q' <> q && subset q' q) masks))
     masks

@@ -142,3 +142,4 @@ let set_adaptive_window t cfg =
 let adaptive_window t = Client.adaptive_window t.shards.(0)
 
 let set_strategy t ~shard s = t.shards.(shard).Client.strategy <- s
+let strategy t ~shard = t.shards.(shard).Client.strategy

@@ -93,3 +93,6 @@ val adaptive_window : t -> Rpc.Window.t option
 (** Shard 0's live controller, if one is installed. *)
 
 val set_strategy : t -> shard:int -> Strategy.t -> unit
+
+val strategy : t -> shard:int -> Strategy.t
+(** The shard's current quorum strategy. *)

@@ -19,7 +19,12 @@ let create ~name ~initial_view =
 
 let lookup t key = Option.value ~default:(0, 0) (Hashtbl.find_opt t.data key)
 
-let state t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.data []
+(* Canonically sorted by key: hash-bucket order must never reach
+   State_rep payloads, traces, or test assertions. *)
+let state t =
+  (* lint: order-insensitive *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.data []
+  |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
 
 let attach t ~(net : Protocol.msg Sim.Net.t) =
   Sim.Net.register net ~node:t.name (fun ~src msg ->

@@ -1,0 +1,6 @@
+(* Fixture: a clean file — the lint reports nothing. *)
+
+let ints = List.sort Int.compare [ 3; 1; 2 ]
+let floats = List.sort Float.compare [ 3.0; 1.0; 2.0 ]
+let close = Float.equal 1.0 1.0
+let mention_in_string = "Hashtbl.fold and Random.int are only words here"

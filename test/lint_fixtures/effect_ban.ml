@@ -1,0 +1,9 @@
+(* Fixture: effect-ban rule.  Violations at lines 4, 5 and 6; the
+   pragma'd site at line 9 is silent. *)
+
+let bad_random () = Random.int 10
+let bad_unix () = Unix.gettimeofday ()
+let bad_time () = Sys.time ()
+
+(* lint: effect-ok *)
+let excused () = Random.bits ()

@@ -1,0 +1,12 @@
+(* Fixture: float-compare rule.  Violations at lines 6, 7 and 8; the
+   binding at line 5 and the ordering test at line 12 are not
+   comparisons of that class, and the pragma'd site at line 11 is
+   silent. *)
+let threshold = 0.5
+let bad_eq x = x = 1.0
+let bad_cmp x y = compare (x +. 1.0) y
+let bad_sort (xs : float list) = List.sort compare xs
+
+(* lint: float-eq-ok *)
+let excused x = x <> 0.25
+let ordering_is_fine x = x < threshold +. 1.0

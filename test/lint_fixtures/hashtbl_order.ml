@@ -1,0 +1,10 @@
+(* Fixture: hashtbl-order rule.  Violations at lines 5 and 6; the
+   fold under the line-8 pragma and the fold with the same-line
+   pragma at line 10 are silent. *)
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+let dump t = Hashtbl.iter (fun _ v -> print_int v) t
+
+(* lint: order-insensitive *)
+let count t = Hashtbl.fold (fun _ _ n -> n + 1) t 0
+let size t = Hashtbl.fold (fun _ _ n -> n + 1) t 0 (* lint: order-insensitive *)

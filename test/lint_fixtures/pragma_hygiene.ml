@@ -1,0 +1,8 @@
+(* Fixture: pragma hygiene.  The unknown pragma at line 4 and the
+   pragma at line 7 that silences nothing are themselves findings. *)
+
+(* lint: no-such-rule *)
+let f x = x + 1
+
+(* lint: order-insensitive *)
+let g x = x

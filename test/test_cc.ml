@@ -437,3 +437,79 @@ let orphan_suite =
     ] )
 
 let suites = suites @ [ orphan_suite ]
+
+(* ---------- snapshot determinism (lint regression) ---------- *)
+
+(* The public snapshots ([committed_values], [residual_holders]) are
+   canonically object-sorted: writing the same objects in any order
+   must produce identical lists.  Pins the sorted-at-the-boundary
+   fixes that made lib/cc lint-clean. *)
+
+let snapshot_bindings =
+  List.init 30 (fun i -> (Fmt.str "o%02d" i, Value.Int (7 * i)))
+
+let shuffle_trials rng build reference label =
+  for trial = 1 to 5 do
+    let got = build (Prng.shuffle rng snapshot_bindings) in
+    Alcotest.(check bool)
+      (Fmt.str "%s: shuffled insertion %d identical" label trial)
+      true (got = reference)
+  done
+
+let sorted_by_obj l =
+  List.map fst l = List.sort String.compare (List.map fst l)
+
+let test_locks_snapshot_order () =
+  let build order =
+    let l = Cc.Locks.create () in
+    List.iter
+      (fun (obj, v) ->
+        match Cc.Locks.try_write l ~obj ~initial:(Value.Int 0) ~who:t1a v with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "write should succeed")
+      order;
+    (* child commit passes the locks to the parent: residual holders *)
+    Cc.Locks.commit l t1a;
+    let residual = Cc.Locks.residual_holders l in
+    Cc.Locks.commit l t1;
+    (residual, Cc.Locks.committed_values l)
+  in
+  let reference = build snapshot_bindings in
+  let residual, committed = reference in
+  Alcotest.(check int) "all objects committed" 30 (List.length committed);
+  Alcotest.(check bool) "committed_values object-sorted" true
+    (sorted_by_obj committed);
+  Alcotest.(check bool) "residual_holders object-sorted" true
+    (sorted_by_obj residual);
+  Alcotest.(check bool) "residual holder is the parent" true
+    (List.for_all (fun (_, holders) -> holders = [ t1 ]) residual);
+  shuffle_trials (Prng.create 11) build reference "locks"
+
+let test_mvto_snapshot_order () =
+  let build order =
+    let m = Cc.Mvto.create () in
+    List.iter
+      (fun (obj, v) ->
+        match Cc.Mvto.try_write m ~obj ~initial:(Value.Int 0) ~who:t1 v with
+        | Cc.Mvto.WOk -> ()
+        | _ -> Alcotest.fail "write should succeed")
+      order;
+    Cc.Mvto.commit m t1;
+    Cc.Mvto.committed_values m
+  in
+  let reference = build snapshot_bindings in
+  Alcotest.(check int) "all objects committed" 30 (List.length reference);
+  Alcotest.(check bool) "committed_values object-sorted" true
+    (sorted_by_obj reference);
+  shuffle_trials (Prng.create 13) build reference "mvto"
+
+let snapshot_suite =
+  ( "cc.snapshots",
+    [
+      Alcotest.test_case "locks snapshots insertion-order free" `Quick
+        test_locks_snapshot_order;
+      Alcotest.test_case "mvto snapshots insertion-order free" `Quick
+        test_mvto_snapshot_order;
+    ] )
+
+let suites = suites @ [ snapshot_suite ]

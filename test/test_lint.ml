@@ -1,0 +1,247 @@
+(* Tests for the determinism lint (lib/lint): fixture sources with
+   known violation lines, pragma semantics, the reporters, and the
+   static quorum-intersection checker — including a qcheck property
+   tying the checker's independent bitmask legality test to
+   [Config.legal], and a static/dynamic cross-check against the
+   harness. *)
+
+module Report = Lint.Report
+module Rules = Lint.Rules
+module Qcheck = Lint.Quorum_check
+module Config = Quorum.Config
+module Prng = Qc_util.Prng
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let summarize findings =
+  List.map (fun f -> (f.Report.line, f.Report.rule)) findings
+
+let line_rule = Alcotest.(list (pair int string))
+
+let check_fixture name expected =
+  let findings = Rules.lint_file (fixture name) in
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "finding carries the fixture path"
+        (fixture name) f.Report.file)
+    findings;
+  Alcotest.check line_rule name expected (summarize findings)
+
+(* ---------- one fixture per rule, exact file:line ---------- *)
+
+let test_effect_ban () =
+  check_fixture "effect_ban.ml"
+    [
+      (4, Rules.rule_effect); (5, Rules.rule_effect); (6, Rules.rule_effect);
+    ]
+
+let test_hashtbl_order () =
+  check_fixture "hashtbl_order.ml"
+    [ (5, Rules.rule_hashtbl); (6, Rules.rule_hashtbl) ]
+
+let test_float_eq () =
+  check_fixture "float_eq.ml"
+    [ (6, Rules.rule_float); (7, Rules.rule_float); (8, Rules.rule_float) ]
+
+let test_pragma_hygiene () =
+  check_fixture "pragma_hygiene.ml"
+    [ (4, Rules.rule_unknown_pragma); (7, Rules.rule_unused_pragma) ]
+
+let test_clean_fixture () = check_fixture "clean.ml" []
+
+(* Exempting effects (the lib/util/prng.ml carve-out) silences the
+   effect findings — and thereby strands the effect-ok pragma, which
+   must then be reported as unused rather than silently dropped. *)
+let test_exempt_effects () =
+  let findings =
+    Rules.lint_file ~exempt_effects:true (fixture "effect_ban.ml")
+  in
+  Alcotest.check line_rule "exempt file: only the stranded pragma"
+    [ (8, Rules.rule_unused_pragma) ]
+    (summarize findings)
+
+let test_default_exempt () =
+  Alcotest.(check bool) "lib/util/prng.ml exempt" true
+    (Rules.default_exempt "lib/util/prng.ml");
+  Alcotest.(check bool) "other files not exempt" false
+    (Rules.default_exempt "lib/vp/replica.ml")
+
+(* ---------- directory walk + reporters ---------- *)
+
+let all_fixture_findings () =
+  match Rules.lint_paths [ "lint_fixtures" ] with
+  | Error e -> Alcotest.failf "lint_paths: %s" e
+  | Ok findings -> findings
+
+let test_lint_paths_walk () =
+  let findings = all_fixture_findings () in
+  Alcotest.(check int) "total findings across fixtures" 10
+    (List.length findings);
+  Alcotest.(check bool) "sorted and deduplicated" true
+    (Report.sort findings = findings)
+
+let test_lint_paths_missing () =
+  match Rules.lint_paths [ "no/such/path.ml" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing path must be an Error"
+
+let test_reporters () =
+  let findings = all_fixture_findings () in
+  let text = Report.to_text findings in
+  let expect_line = Fmt.str "%s:4:" (fixture "effect_ban.ml") in
+  Alcotest.(check bool)
+    (Fmt.str "text report mentions %S" expect_line)
+    true
+    (contains ~affix:expect_line text && contains ~affix:Rules.rule_effect text);
+  let json = Report.to_json findings in
+  Alcotest.(check bool) "json report carries the count" true
+    (contains ~affix:"\"count\":10" json);
+  Alcotest.(check string) "json deterministic across runs" json
+    (Report.to_json (all_fixture_findings ()))
+
+(* The lint gate itself: the repo's own lib/ tree is clean.  Tests run
+   in _build/default/test, so reach the sources through the dune
+   project root two levels up. *)
+let lib_root = Filename.concat (Filename.concat ".." "..") "lib"
+
+let test_repo_lib_clean () =
+  if Sys.file_exists lib_root then
+    match Rules.lint_paths [ lib_root ] with
+    | Ok [] -> ()
+    | Ok findings -> Alcotest.failf "lib/ not clean:\n%s" (Report.to_text findings)
+    | Error e -> Alcotest.failf "lint_paths lib/: %s" e
+
+(* ---------- static quorum checker ---------- *)
+
+let find_verdict summary name =
+  match
+    List.find_opt (fun v -> v.Qcheck.name = name) summary.Qcheck.verdicts
+  with
+  | Some v -> v
+  | None -> Alcotest.failf "no verdict named %s" name
+
+let opt_bool = Alcotest.(option bool)
+
+let test_quorum_checker_runs () =
+  match Qcheck.run () with
+  | Error s -> Alcotest.failf "violations:@ %a" Qcheck.pp_summary s
+  | Ok s ->
+      Alcotest.(check int) "catalog size" 127 s.Qcheck.checked;
+      Alcotest.(check (list string)) "no violations" [] s.Qcheck.violations;
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (v.Qcheck.name ^ " read/write legal")
+            true v.Qcheck.legal_rw)
+        s.Qcheck.verdicts
+
+let test_quorum_checker_classics () =
+  match Qcheck.run () with
+  | Error s -> Alcotest.failf "violations:@ %a" Qcheck.pp_summary s
+  | Ok s ->
+      (* Majority coteries are non-dominated exactly at odd n
+         (Barbara & Garcia-Molina). *)
+      Alcotest.check opt_bool "majority-5 non-dominated" (Some true)
+        (find_verdict s "majority-5").Qcheck.nd;
+      Alcotest.check opt_bool "majority-4 dominated" (Some false)
+        (find_verdict s "majority-4").Qcheck.nd;
+      (* ROWA's write side {all} is a coterie but dominated for n>1. *)
+      Alcotest.check opt_bool "rowa-1 non-dominated" (Some true)
+        (find_verdict s "rowa-1").Qcheck.nd;
+      Alcotest.check opt_bool "rowa-3 dominated" (Some false)
+        (find_verdict s "rowa-3").Qcheck.nd;
+      (* RAOW: singleton write-quorums stop pairwise-intersecting for
+         n>1 — the paper's point that w/w intersection is not required
+         by the replica-consistency proof. *)
+      Alcotest.(check bool) "raow-3 write side not pairwise-intersecting"
+        false (find_verdict s "raow-3").Qcheck.ww_intersects;
+      Alcotest.(check bool) "grid-2x3 writes intersect" true
+        (find_verdict s "grid-2x3").Qcheck.ww_intersects
+
+let test_accepts_basic () =
+  Alcotest.(check bool) "majority accepted" true
+    (Qcheck.accepts (Config.majority [ "a"; "b"; "c"; "d"; "e" ]));
+  let disjoint =
+    Config.make ~read_quorums:[ [ "a" ] ] ~write_quorums:[ [ "b" ] ]
+  in
+  Alcotest.(check bool) "disjoint quorums rejected" false
+    (Qcheck.accepts disjoint)
+
+(* qcheck: the checker's independent bitmask legality test agrees with
+   the list-based [Config.legal] on random generated configurations
+   (always legal) and on broken mutants (never legal). *)
+let prop_accepts_iff_legal =
+  QCheck.Test.make ~count:200
+    ~name:"static accepts <=> Config.legal on random configs"
+    QCheck.(pair (int_range 0 100_000) (int_range 2 6))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let dms = List.init n (fun i -> Fmt.str "d%d" i) in
+      let c = Quorum.Gen.config rng dms in
+      let broken =
+        Config.make
+          ~read_quorums:[ [ "zz" ] ]
+          ~write_quorums:c.Config.write_quorums
+      in
+      Qcheck.accepts c = Config.legal c
+      && Config.legal c
+      && Qcheck.accepts broken = Config.legal broken
+      && not (Qcheck.accepts broken))
+
+(* Static/dynamic cross-check: a description the static checker
+   accepts wholesale also survives the full dynamic harness (run the
+   system, check Lemmas 5-8 and Theorem 10). *)
+let test_static_dynamic_cross_check () =
+  let seed = 2026 in
+  let d = Quorum.Gen.description (Prng.create seed) in
+  List.iter
+    (fun (it : Quorum.Item.t) ->
+      Alcotest.(check bool)
+        (Fmt.str "item %s statically accepted" it.Quorum.Item.name)
+        true
+        (Qcheck.accepts it.Quorum.Item.config))
+    d.Quorum.Description.items;
+  match Quorum.Harness.run_and_check ~seed () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "dynamic harness rejected seed %d: %s" seed e
+
+let qcheck t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t
+
+let suites =
+  [
+    ( "lint.rules",
+      [
+        Alcotest.test_case "effect-ban fixture" `Quick test_effect_ban;
+        Alcotest.test_case "hashtbl-order fixture" `Quick test_hashtbl_order;
+        Alcotest.test_case "float-compare fixture" `Quick test_float_eq;
+        Alcotest.test_case "pragma hygiene fixture" `Quick
+          test_pragma_hygiene;
+        Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+        Alcotest.test_case "exempt effects strands pragma" `Quick
+          test_exempt_effects;
+        Alcotest.test_case "default exemption" `Quick test_default_exempt;
+        Alcotest.test_case "directory walk" `Quick test_lint_paths_walk;
+        Alcotest.test_case "missing path is an error" `Quick
+          test_lint_paths_missing;
+        Alcotest.test_case "text and json reporters" `Quick test_reporters;
+        Alcotest.test_case "repo lib/ is lint-clean" `Quick
+          test_repo_lib_clean;
+      ] );
+    ( "lint.quorum",
+      [
+        Alcotest.test_case "checker runs clean" `Quick
+          test_quorum_checker_runs;
+        Alcotest.test_case "classic strategy verdicts" `Quick
+          test_quorum_checker_classics;
+        Alcotest.test_case "accepts basics" `Quick test_accepts_basic;
+        qcheck prop_accepts_iff_legal;
+        Alcotest.test_case "static/dynamic cross-check" `Quick
+          test_static_dynamic_cross_check;
+      ] );
+  ]

@@ -131,6 +131,28 @@ let test_experiment_multi_seed () =
         0 c.Vp.Experiments.stale_reads)
     [ 41; 42; 43; 44; 45 ]
 
+(* Regression for the determinism lint: [Replica.state] is a canonical
+   snapshot — hash-bucket order must never leak, so any insertion
+   order yields the same key-sorted list. *)
+let test_state_insertion_order () =
+  let view = Vp.View.initial ~replicas:[ "r0" ] in
+  let bindings = List.init 40 (fun i -> (Fmt.str "k%02d" i, (i, 3 * i))) in
+  let build order =
+    let r = Vp.Replica.create ~name:"r0" ~initial_view:view in
+    List.iter (fun (k, v) -> Hashtbl.replace r.Vp.Replica.data k v) order;
+    Vp.Replica.state r
+  in
+  let rng = Qc_util.Prng.create 7 in
+  let reference = build bindings in
+  Alcotest.(check bool) "snapshot key-sorted" true
+    (List.map fst reference = List.sort String.compare (List.map fst reference));
+  for trial = 1 to 5 do
+    let shuffled = build (Qc_util.Prng.shuffle rng bindings) in
+    Alcotest.(check bool)
+      (Fmt.str "shuffled insertion %d: same snapshot" trial)
+      true (shuffled = reference)
+  done
+
 let suites =
   [
     ("vp.view", [ Alcotest.test_case "primary rule" `Quick test_primary_rule ]);
@@ -143,6 +165,8 @@ let suites =
         Alcotest.test_case "view change carries state" `Quick
           test_view_change_carries_state;
         Alcotest.test_case "stale view NACKed" `Quick test_stale_view_nacked;
+        Alcotest.test_case "state snapshot insertion-order free" `Quick
+          test_state_insertion_order;
       ] );
     ( "vp.experiment",
       [
