@@ -281,6 +281,32 @@ let window_table_cmd () =
      and decays to zero on the uniform low-rate workload — where it adds \
      no window latency at all (compare its op mean with unbatched).@."
 
+(* ---------- latency-attribution ablation ---------- *)
+
+let attribution_table_cmd () =
+  header
+    "Latency attribution: per-phase decomposition of mean op latency, loss x \
+     burst (majority-3 x 2 shards, retries, batch window 1.0, storage \
+     0.05/2.0)";
+  Fmt.pr "%-18s %-6s %-9s" "condition" "ops" "wall";
+  List.iter
+    (fun p -> Fmt.pr " %8s" (Obs.Attribution.phase_label p))
+    Obs.Attribution.phases;
+  Fmt.pr " %-7s@." "audit";
+  List.iter
+    (fun (r : Store.Experiments.attr_row) ->
+      Fmt.pr "%-18s %-6d %-9.3f" r.Store.Experiments.a_label r.a_ops
+        r.a_wall_mean;
+      List.iter (fun (_, d) -> Fmt.pr " %8.3f" d) r.a_phase_means;
+      Fmt.pr " %-7s@." (if r.a_audit_clean then "clean" else "DIRTY"))
+    (Store.Experiments.attribution_table ());
+  Fmt.pr
+    "@.shape: the phases sum to the wall mean by construction, so each knob's \
+     cost lands in its own column — loss shows up as backoff gaps (and \
+     timeout-inflated net), bursts as batch-window waits plus the \
+     group-commit fsync share; what remains in net is genuine flight and \
+     scheduling, the part no client-side knob can recover.@."
+
 (* ---------- optimal vote assignments ---------- *)
 
 let optimal_table () =
@@ -504,6 +530,7 @@ let all seeds =
   retry_table ();
   shards_table ();
   batch_table ();
+  attribution_table_cmd ();
   ignore (io_table_check ());
   window_table_cmd ();
   exhaustive_table ()
@@ -540,6 +567,8 @@ let () =
       cmd_of "retry" retry_table "Retry/backoff/hedging policy ablation";
       cmd_of "shards" shards_table "Shard-balance ablation (1/2/4 shards)";
       cmd_of "batch" batch_table "Multi-key batching ablation";
+      cmd_of "attribution" attribution_table_cmd
+        "Latency-attribution ablation (loss x burst phase decomposition)";
       cmd_of "io" io_table_cmd
         "Replica io-pipeline ablation (exits 1 if group commit amortizes \
          fsyncs < 2x vs naive, or any audit is dirty)";

@@ -29,6 +29,9 @@
                         naive (fsync per install) or group commit
                         (default; all state is reset)
      storage off        rebuild without storage (all state is reset)
+     top                live per-shard health over the last 200 time
+                        units: op rate, read fraction, success rate,
+                        p99 latency, apply-queue depth
      balance            per-replica load, per-shard totals and spread
      lint               statically check every shard's quorum
                         configuration (intersection, minimality,
@@ -59,6 +62,7 @@ type world = {
   net : Store.Protocol.msg Net.t;
   replicas : Store.Replica.t list;
   router : Store.Router.t;
+  health : Obs.Health.t;
   n_shards : int;
   scheme : Store.Router.scheme;
   storage : (float * float * bool) option;
@@ -112,10 +116,31 @@ let make_world ~n_shards ~scheme ~storage =
       ~strategies:
         (Array.init n_shards (fun _ ->
              Store.Strategy.majority replicas_per_shard))
-      ~scheme ~n_keys ~timeout:50.0 ~read_repair:true ~metrics ()
+      ~scheme ~n_keys ~timeout:50.0 ~read_repair:true ~trace_ctx:true ~metrics
+      ()
   in
   Store.Router.attach router;
-  { sim; tracer; metrics; net; replicas; router; n_shards; scheme; storage }
+  (* per-shard apply-queue probe: mean queue depth over the shard's
+     replicas at sample time *)
+  let queue_depth s =
+    let group = Store.Router.replicas router ~shard:s in
+    let depths =
+      List.filter_map
+        (fun (r : Store.Replica.t) ->
+          if Array.exists (String.equal r.Store.Replica.name) group then
+            Some (Store.Replica.queue_depth r)
+          else None)
+        replicas
+    in
+    match depths with
+    | [] -> Float.nan
+    | _ ->
+        float_of_int (List.fold_left ( + ) 0 depths)
+        /. float_of_int (List.length depths)
+  in
+  let health = Obs.Health.create ~window:200.0 ~n_shards ~queue_depth () in
+  { sim; tracer; metrics; net; replicas; router; health; n_shards; scheme;
+    storage }
 
 (* shards N [hash|range] — [Ok None] means "just show the layout" *)
 let parse_shards = function
@@ -205,6 +230,13 @@ let () =
     (* drive the simulation until the operation resolves *)
     Core.run !w.sim
   in
+  (* feed the health monitor from inside each op's completion callback,
+     at the virtual time the op resolved *)
+  let observe_health ~key ~read ~ok ~latency =
+    Obs.Health.record !w.health ~at:(Core.now !w.sim)
+      ~shard:(Store.Router.shard_of !w.router key)
+      ~read ~ok ~latency
+  in
   let rec loop () =
     match In_channel.input_line stdin with
     | None -> ()
@@ -226,8 +258,8 @@ let () =
               "put KEY INT | get KEY | crash NODE | recover NODE | cut A B | \
                heal A B | dump | policy [retries N | hedge D | off] | loss P | \
                shards [N [hash|range]] | batch [W | off] | window [adaptive | \
-               off] | storage [W F [naive|group] | off] | balance | lint | \
-               stats | metrics | trace FILE | quit@.";
+               off] | storage [W F [naive|group] | off] | top | balance | \
+               lint | stats | metrics | trace FILE | quit@.";
             loop ()
         | [ "put"; key; v ] ->
             (match int_of_string_opt v with
@@ -236,6 +268,7 @@ let () =
                 run_op (fun () ->
                     Store.Router.write !w.router ~key ~value
                       ~on_done:(fun ~ok ~vn ~value:_ ~latency ->
+                        observe_health ~key ~read:false ~ok ~latency;
                         if ok then
                           Fmt.pr "OK  %s := %d (version %d, %.1f time units)@."
                             key value vn latency
@@ -245,6 +278,7 @@ let () =
             run_op (fun () ->
                 Store.Router.read !w.router ~key
                   ~on_done:(fun ~ok ~vn ~value ~latency ->
+                    observe_health ~key ~read:true ~ok ~latency;
                     if ok then
                       Fmt.pr "OK  %s = %d (version %d, %.1f time units)@." key
                         value vn latency
@@ -391,6 +425,11 @@ let () =
                        state reset@."
                       wc fc
                       (if gc then "group" else "per-install (naive)")));
+            loop ()
+        | [ "top" ] ->
+            Fmt.pr "%s%!"
+              (Obs.Health.render
+                 (Obs.Health.sample !w.health ~at:(Core.now !w.sim)));
             loop ()
         | [ "balance" ] ->
             let shard_loads =

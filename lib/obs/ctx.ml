@@ -1,0 +1,28 @@
+(** A causal trace context: the identity an operation carries through
+    every layer it touches.  The client mints one per logical
+    operation — [op] is a run-unique human-readable id like ["c0#12"],
+    [parent] is the span id of the operation's root span — and the
+    context rides inside protocol requests, so the RPC engine, the
+    batch coalescer and the replica apply pipeline can stamp their own
+    spans and instants with the originating operation.
+
+    The stamp is two trace args: [("op", Str op)] on every event, and
+    [("parent", Int parent)] on child events (the root span itself
+    carries only [op], which is how queries tell roots from children).
+    Everything is opt-in: layers only consult a context when one is
+    present, so default runs emit byte-identical traces. *)
+
+type t = {
+  op : string;  (** run-unique operation id, e.g. ["c0#12"] *)
+  parent : int;  (** span id of the operation's root span *)
+}
+
+let make ~op ~parent = { op; parent }
+let op t = t.op
+let parent t = t.parent
+
+(** The trace args a child event stamps: [op], plus [parent] when the
+    context has one ([parent = 0] — no root span — stamps only [op]). *)
+let args t =
+  ("op", Trace.Str t.op)
+  :: (if t.parent <> 0 then [ ("parent", Trace.Int t.parent) ] else [])

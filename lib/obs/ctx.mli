@@ -1,0 +1,19 @@
+(** A causal trace context — root operation id plus causal parent —
+    minted per logical operation by the client and carried through
+    protocol requests, so every layer (engine attempts, batch
+    coalescing, replica queue/apply/fsync) can stamp its events with
+    the originating operation.  Opt-in: absent contexts leave traces
+    byte-identical. *)
+
+type t = {
+  op : string;  (** run-unique operation id, e.g. ["c0#12"] *)
+  parent : int;  (** span id of the operation's root span; [0] = none *)
+}
+
+val make : op:string -> parent:int -> t
+val op : t -> string
+val parent : t -> int
+
+val args : t -> (string * Trace.arg) list
+(** The args a stamped child event carries: [("op", Str op)], plus
+    [("parent", Int parent)] when [parent <> 0]. *)

@@ -1,0 +1,171 @@
+(** Rolling-window health monitoring, per shard, on virtual time.
+
+    Completed operations are {!record}ed as they finish; {!sample}
+    prunes everything older than the window and distils each shard
+    into a snapshot — op rate, read fraction, success rate, p99
+    latency (nearest-rank over the window's successful ops), and an
+    instantaneous apply-queue depth probed from the caller-provided
+    hook.  Subscribers registered with {!subscribe} see every sample
+    — the feed a live dashboard (the REPL's [top]) or a
+    workload-aware quorum optimizer consumes.
+
+    Deterministic: no wall clock, no allocation-order dependence —
+    records arrive in virtual-time order and snapshots are pure
+    functions of the recorded window plus the probe.  Statistics are
+    computed inline (nearest-rank percentile over a sorted copy)
+    because [lib/obs] sits below [lib/sim] in the dependency order. *)
+
+type record = {
+  r_at : float;
+  r_read : bool;
+  r_ok : bool;
+  r_latency : float;
+}
+
+type snapshot = {
+  at : float;  (** sample time *)
+  shard : int;
+  window : float;
+  ops : int;  (** operations completed inside the window *)
+  rate : float;  (** ops per time unit over the window *)
+  read_fraction : float;  (** [nan] when the window is empty *)
+  success_rate : float;  (** [nan] when the window is empty *)
+  p99 : float;
+      (** nearest-rank p99 latency of the window's successful ops;
+          [nan] when there were none *)
+  queue_depth : float;  (** probed at sample time; [nan] without a probe *)
+}
+
+type t = {
+  hwindow : float;
+  n_shards : int;
+  queue_depth : (int -> float) option;
+  shards : record Queue.t array;  (** per shard, in arrival order *)
+  mutable subs : (snapshot list -> unit) list;  (** reversed *)
+}
+
+let create ~window ~n_shards ?queue_depth () =
+  if (not (Float.is_finite window)) || window <= 0.0 then
+    invalid_arg "Health.create: window must be finite and > 0";
+  if n_shards < 1 then invalid_arg "Health.create: n_shards must be >= 1";
+  {
+    hwindow = window;
+    n_shards;
+    queue_depth;
+    shards = Array.init n_shards (fun _ -> Queue.create ());
+    subs = [];
+  }
+
+let window t = t.hwindow
+let n_shards t = t.n_shards
+let subscribe t f = t.subs <- f :: t.subs
+
+let record t ~at ~shard ~read ~ok ~latency =
+  if shard < 0 || shard >= t.n_shards then
+    invalid_arg (Fmt.str "Health.record: shard %d out of range" shard);
+  Queue.add
+    { r_at = at; r_read = read; r_ok = ok; r_latency = latency }
+    t.shards.(shard)
+
+(* records arrive in virtual-time order, so pruning pops from the
+   front until the window's left edge *)
+let prune q ~at ~window =
+  let cutoff = at -. window in
+  let rec go () =
+    match Queue.peek_opt q with
+    | Some r when r.r_at <= cutoff ->
+        ignore (Queue.pop q);
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let nearest_rank_p99 (latencies : float list) =
+  match latencies with
+  | [] -> nan
+  | _ ->
+      let a = Array.of_list latencies in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      let rank = int_of_float (Float.ceil (0.99 *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+
+let snapshot_shard t ~at shard =
+  let q = t.shards.(shard) in
+  prune q ~at ~window:t.hwindow;
+  let ops = Queue.length q in
+  let reads = ref 0 and oks = ref 0 and lats = ref [] in
+  Queue.iter
+    (fun r ->
+      if r.r_read then incr reads;
+      if r.r_ok then begin
+        incr oks;
+        lats := r.r_latency :: !lats
+      end)
+    q;
+  let f = float_of_int in
+  {
+    at;
+    shard;
+    window = t.hwindow;
+    ops;
+    rate = f ops /. t.hwindow;
+    read_fraction = (if ops = 0 then nan else f !reads /. f ops);
+    success_rate = (if ops = 0 then nan else f !oks /. f ops);
+    p99 = nearest_rank_p99 !lats;
+    queue_depth =
+      (match t.queue_depth with Some probe -> probe shard | None -> nan);
+  }
+
+(** One snapshot per shard (ascending), pruning the window as a side
+    effect and notifying every subscriber in subscription order. *)
+let sample t ~at =
+  let snaps = List.init t.n_shards (snapshot_shard t ~at) in
+  List.iter (fun f -> f snaps) (List.rev t.subs);
+  snaps
+
+(* ---------- rendering ---------- *)
+
+let cell fmt v = if Float.is_nan v then "-" else Fmt.str fmt v
+
+(** A fixed-width table of one sampling round — what the REPL's [top]
+    prints.  Deterministic given the snapshots, so tests pin it. *)
+let render (snaps : snapshot list) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Fmt.str "%5s %6s %8s %6s %6s %8s %6s@\n" "shard" "ops" "rate" "read%"
+       "ok%" "p99" "queue");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Fmt.str "%5d %6d %8s %6s %6s %8s %6s@\n" s.shard s.ops
+           (cell "%.3f" s.rate)
+           (cell "%.1f" (s.read_fraction *. 100.0))
+           (cell "%.1f" (s.success_rate *. 100.0))
+           (cell "%.2f" s.p99)
+           (cell "%.2f" s.queue_depth)))
+    snaps;
+  Buffer.contents buf
+
+(* ---------- JSON export ---------- *)
+
+let num_or_null v = if Float.is_nan v then Json.Null else Json.Num v
+
+let snapshot_to_json (s : snapshot) : Json.t =
+  Json.Obj
+    [
+      ("at", Json.Num s.at);
+      ("shard", Json.Num (float_of_int s.shard));
+      ("window", Json.Num s.window);
+      ("ops", Json.Num (float_of_int s.ops));
+      ("rate", num_or_null s.rate);
+      ("read_fraction", num_or_null s.read_fraction);
+      ("success_rate", num_or_null s.success_rate);
+      ("p99", num_or_null s.p99);
+      ("queue_depth", num_or_null s.queue_depth);
+    ]
+
+(** The machine-readable feed for the quorum optimizer: a JSON array
+    of snapshots, chronological. *)
+let to_json (snaps : snapshot list) : Json.t =
+  Json.List (List.map snapshot_to_json snaps)

@@ -93,6 +93,48 @@ let arg_bool args key =
 let events_within (s : span) (events : Trace.event list) : Trace.event list =
   filter_events ~track:s.track ~since:s.start ~until:s.stop events
 
+(* ---------- causal stitching by operation id ---------- *)
+
+let op_of (s : span) = arg_str s.args "op"
+let parent_of (s : span) = arg_int s.args "parent"
+
+(** A root span carries an [op] stamp but no causal [parent] — the
+    client-side span of a logical operation (see {!Ctx}). *)
+let is_root (s : span) = op_of s <> None && parent_of s = None
+
+let roots (ss : span list) : span list = List.filter is_root ss
+
+(** The spans stamped with operation [op], the root (if completed)
+    first, children after it in span-id order — the operation's causal
+    tree flattened. *)
+let spans_of_op (ss : span list) ~op : span list =
+  let mine =
+    List.filter
+      (fun s ->
+        match op_of s with Some o -> String.equal o op | None -> false)
+      ss
+  in
+  let root, rest = List.partition is_root mine in
+  root @ rest
+
+(** The events stamped with operation [op] (replica query/install
+    instants, engine reply/hedge instants, child span begin/ends). *)
+let events_of_op (events : Trace.event list) ~op : Trace.event list =
+  List.filter
+    (fun (e : Trace.event) ->
+      match arg_str e.Trace.args "op" with
+      | Some o -> String.equal o op
+      | None -> false)
+    events
+
+(** The direct causal children of span [id] — spans whose [parent]
+    stamp names it. *)
+let children (ss : span list) ~id : span list =
+  List.filter (fun s -> match parent_of s with
+      | Some p -> p = id
+      | None -> false)
+    ss
+
 (** Balanced-span check on raw events: every E has a preceding B with
     the same id, and no B is left unmatched.  The JSONL-level twin of
     [Export.check_chrome]. *)

@@ -36,5 +36,28 @@ val arg_bool : (string * Trace.arg) list -> string -> bool option
 val events_within : span -> Trace.event list -> Trace.event list
 (** Instants inside the span's time window on the span's track. *)
 
+val op_of : span -> string option
+(** The span's operation stamp ([("op", Str _)] arg, see {!Ctx}). *)
+
+val parent_of : span -> int option
+(** The span's causal-parent stamp ([("parent", Int _)] arg). *)
+
+val is_root : span -> bool
+(** Stamped with an operation but no parent: the client-side root span
+    of a logical operation. *)
+
+val roots : span list -> span list
+
+val spans_of_op : span list -> op:string -> span list
+(** The operation's causal tree, flattened: the root span (if it
+    completed) first, stamped children after it in span-id order. *)
+
+val events_of_op : Trace.event list -> op:string -> Trace.event list
+(** Every event stamped with the operation — replica query/install
+    instants, engine reply/hedge instants, child span begin/ends. *)
+
+val children : span list -> id:int -> span list
+(** The spans whose [parent] stamp names span [id]. *)
+
 val check_balanced : Trace.event list -> (unit, string) result
 (** Every E pairs with a preceding B, no B left open. *)

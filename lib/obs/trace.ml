@@ -43,6 +43,8 @@ type span = {
 (** A span handle that never records anything (disabled tracer). *)
 let null_span = { span_id = 0; span_cat = ""; span_name = ""; span_track = "" }
 
+let span_id s = s.span_id
+
 type t = {
   mutable enabled : bool;
   mutable clock : unit -> float;

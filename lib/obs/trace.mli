@@ -30,6 +30,12 @@ type event = {
 type span
 (** Handle returned by {!begin_span}; pass it to {!end_span}. *)
 
+val span_id : span -> int
+(** The span's id — the value pairing its B and E events, [0] for the
+    null span of a disabled tracer.  Ids are allocated monotonically
+    per tracer, so on a shared tracer they are unique across the whole
+    run and can serve as causal-parent references. *)
+
 type t
 
 val create : ?capacity:int -> ?enabled:bool -> unit -> t

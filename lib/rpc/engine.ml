@@ -29,6 +29,12 @@ type op = {
   mutable o_live : bool;
   o_started : float;
   mutable o_calls : packed_call list;
+  o_ctx : Obs.Ctx.t option;
+      (** causal trace context: when present, the engine stamps the
+          op's attempt spans, reply/hedge instants and batch-queue
+          spans with the originating operation — and carries nothing
+          (and emits nothing extra) when absent, keeping default
+          traces byte-identical *)
 }
 
 and packed_call = Call : 'msg call -> packed_call
@@ -73,7 +79,9 @@ type 'msg t = {
   mutable unbatch : ('msg -> 'msg list option) option;
       (** retained after batching is switched off, so batch replies
           still in flight keep unwrapping *)
-  mutable outq : (string * 'msg) list;  (** reversed send queue *)
+  mutable outq : (string * 'msg * Obs.Trace.span option) list;
+      (** reversed send queue; the span — present only for sends under
+          a trace context — measures the batch-window wait *)
   mutable flush_armed : bool;
   mutable m_batch_size : Obs.Metrics.histogram option;
       (** created lazily on first enable — a never-batching engine
@@ -145,13 +153,21 @@ let flush t =
   t.flush_armed <- false;
   let queued = List.rev t.outq in
   t.outq <- [];
+  (* close every batch-queue-wait span at the flush instant, before
+     any send — all queued messages leave now *)
+  List.iter
+    (fun (_, _, sp) ->
+      match sp with
+      | Some sp -> Obs.Trace.end_span (tracer t) sp ()
+      | None -> ())
+    queued;
   match t.batching with
   | None ->
       (* batching switched off with sends still queued: let them go
          out unwrapped rather than stranding them, each accounted as a
          single-message frame *)
       List.iter
-        (fun (dst, m) ->
+        (fun (dst, m, _) ->
           (match t.m_batch_size with
           | Some h -> Obs.Metrics.observe h 1.0
           | None -> ());
@@ -163,7 +179,7 @@ let flush t =
       let order = ref [] in
       let by_dst : (string, 'msg list ref) Hashtbl.t = Hashtbl.create 8 in
       List.iter
-        (fun (dst, m) ->
+        (fun (dst, m, _) ->
           match Hashtbl.find_opt by_dst dst with
           | Some l -> l := m :: !l
           | None ->
@@ -207,12 +223,24 @@ let flush t =
 
 (* Every outgoing request funnels through here: with batching off it
    is exactly the historical [Net.send]; with batching on the send is
-   queued and the first enqueue arms one flush timer per window. *)
-let dispatch t ~dst msg =
+   queued and the first enqueue arms one flush timer per window.  A
+   trace context opens a [batchq] span per queued send — the
+   batch-window wait the attribution layer charges to the op. *)
+let dispatch t ?ctx ~dst msg =
   match t.batching with
   | None -> Net.send t.net ~src:t.name ~dst msg
   | Some b ->
-      t.outq <- (dst, msg) :: t.outq;
+      let sp =
+        match ctx with
+        | Some cx when Obs.Trace.enabled (tracer t) ->
+            Some
+              (Obs.Trace.begin_span (tracer t) ~cat:t.cat ~name:"batchq"
+                 ~track:t.name
+                 ~args:(("dst", Obs.Trace.Str dst) :: Obs.Ctx.args cx)
+                 ())
+        | _ -> None
+      in
+      t.outq <- (dst, msg, sp) :: t.outq;
       if not t.flush_armed then begin
         t.flush_armed <- true;
         let window =
@@ -264,6 +292,11 @@ let adaptive_window t = t.wctl
 let instrumented (c : 'msg call) =
   c.pol.Policy.max_attempts > 1 || c.pol.Policy.hedge_delay <> None
 
+(* the op's causal stamp, appended to the engine's own event args —
+   empty (and allocation-free) without a context *)
+let ctx_args (c : 'msg call) =
+  match c.c_op.o_ctx with None -> [] | Some cx -> Obs.Ctx.args cx
+
 let begin_attempt_span t (c : 'msg call) =
   let tr = tracer t in
   if instrumented c && Obs.Trace.enabled tr then
@@ -271,7 +304,9 @@ let begin_attempt_span t (c : 'msg call) =
       Some
         (Obs.Trace.begin_span tr ~cat:t.cat ~name:"attempt" ~track:t.name
            ~args:
-             [ ("rid", Obs.Trace.Int c.rid); ("attempt", Obs.Trace.Int c.attempt) ]
+             ([ ("rid", Obs.Trace.Int c.rid);
+                ("attempt", Obs.Trace.Int c.attempt) ]
+             @ ctx_args c)
            ())
 
 let end_attempt_span t (c : 'msg call) ~outcome =
@@ -296,8 +331,10 @@ let close_call t (c : 'msg call) ~outcome =
 
 (* ---------- operations ---------- *)
 
-let start_op t ~timeout ~on_timeout =
-  let op = { o_live = true; o_started = Core.now t.sim; o_calls = [] } in
+let start_op ?ctx t ~timeout ~on_timeout =
+  let op =
+    { o_live = true; o_started = Core.now t.sim; o_calls = []; o_ctx = ctx }
+  in
   Core.schedule t.sim ~delay:timeout (fun () ->
       if op.o_live then begin
         Obs.Metrics.inc t.m_op_timeouts;
@@ -307,6 +344,7 @@ let start_op t ~timeout ~on_timeout =
 
 let op_live op = op.o_live
 let op_started op = op.o_started
+let op_ctx op = op.o_ctx
 
 let finish_op t op =
   if op.o_live then begin
@@ -323,7 +361,8 @@ let call_live (c : 'msg call) = (not c.closed) && c.c_op.o_live
 
 let send_range t (c : 'msg call) lo hi =
   for i = lo to hi - 1 do
-    if not c.heard.(i) then dispatch t ~dst:c.targets.(i) (c.make c.rid)
+    if not c.heard.(i) then
+      dispatch t ?ctx:c.c_op.o_ctx ~dst:c.targets.(i) (c.make c.rid)
   done
 
 let rec arm_attempt_timer t (c : 'msg call) =
@@ -361,11 +400,12 @@ let arm_hedge_timer t (c : 'msg call) =
             if Obs.Trace.enabled tr then
               Obs.Trace.instant tr ~cat:t.cat ~name:"hedge" ~track:t.name
                 ~args:
-                  [
-                    ("rid", Obs.Trace.Int c.rid);
-                    ( "extra",
-                      Obs.Trace.Int (Array.length c.targets - c.sent_upto) );
-                  ]
+                  ([
+                     ("rid", Obs.Trace.Int c.rid);
+                     ( "extra",
+                       Obs.Trace.Int (Array.length c.targets - c.sent_upto) );
+                   ]
+                  @ ctx_args c)
                 ();
             let lo = c.sent_upto in
             c.sent_upto <- Array.length c.targets;
@@ -424,7 +464,9 @@ let handle_one t ~src msg =
       let tr = tracer t in
       if Obs.Trace.enabled tr then
         Obs.Trace.instant tr ~cat:t.cat ~name:"reply" ~track:t.name
-          ~args:[ ("rid", Obs.Trace.Int c.rid); ("from", Obs.Trace.Str src) ]
+          ~args:
+            ([ ("rid", Obs.Trace.Int c.rid); ("from", Obs.Trace.Str src) ]
+            @ ctx_args c)
           ();
       (match target_index c src with
       | Some i -> c.heard.(i) <- true

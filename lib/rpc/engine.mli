@@ -127,13 +127,26 @@ val fresh_rid : 'msg t -> int
 val pending_count : 'msg t -> int
 (** Outstanding calls in the pending table; [0] at quiescence. *)
 
-val start_op : 'msg t -> timeout:float -> on_timeout:(unit -> unit) -> op
+val start_op :
+  ?ctx:Obs.Ctx.t -> 'msg t -> timeout:float -> on_timeout:(unit -> unit) -> op
 (** Begin an operation and arm its overall deadline: after [timeout]
     time units, if the operation is still live, [on_timeout] runs (it
-    should fail the operation and call {!finish_op}). *)
+    should fail the operation and call {!finish_op}).
+
+    When [ctx] is supplied, every trace event the engine emits for the
+    operation's calls — attempt spans, reply and hedge instants, and
+    the per-send [batchq] coalescing-wait spans — carries the context's
+    causal stamp ([op] id and [parent] span), so {!Obs.Query} can
+    stitch client- and replica-side spans into one causal tree.  With
+    no [ctx] (the default) the emitted events are byte-identical to
+    historical runs. *)
 
 val op_live : op -> bool
 val op_started : op -> float
+
+val op_ctx : op -> Obs.Ctx.t option
+(** The causal stamp the operation was started with, for forwarding
+    into request frames. *)
 
 val finish_op : 'msg t -> op -> unit
 (** Mark the operation dead and drop its outstanding calls from the

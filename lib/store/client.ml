@@ -49,6 +49,9 @@ type pending = {
   op : Engine.op;  (** engine operation: liveness + overall deadline *)
   mutable span : Obs.Trace.span option;
       (** the operation's trace span, begun at [start_op] *)
+  ctx : Obs.Ctx.t option;
+      (** the operation's causal stamp, carried by every request frame
+          it sends (only minted under [trace_ctx]) *)
   on_done : ok:bool -> vn:int -> value:int -> latency:float -> unit;
 }
 
@@ -65,6 +68,13 @@ type t = {
           the newest (version, value) back to them — asynchronous
           anti-entropy riding on the read path *)
   targeting : targeting;
+  trace_ctx : bool;
+      (** mint a causal trace context per operation and stamp it onto
+          every frame — off by default, because stamped args change the
+          trace byte stream *)
+  shard : int option;  (** embedded in op ids so routed clients that
+          share a name still mint unique ids *)
+  mutable next_op : int;  (** per-client operation sequence number *)
   rng : Prng.t;  (** quorum choice in [`Quorum] mode *)
   own_vns : (string, int) Hashtbl.t;
       (** highest version this client has ever issued per key.  A
@@ -85,8 +95,8 @@ type t = {
 let tracer t = Core.tracer t.sim
 
 let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
-    ?(read_repair = false) ?(targeting = `Broadcast) ?policy ?(seed = 1)
-    ?metrics ?shard ?batch_window ?adaptive_window () =
+    ?(read_repair = false) ?(targeting = `Broadcast) ?(trace_ctx = false)
+    ?policy ?(seed = 1) ?metrics ?shard ?batch_window ?adaptive_window () =
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
@@ -138,6 +148,9 @@ let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
     timeout;
     read_repair;
     targeting;
+    trace_ctx;
+    shard;
+    next_op = 0;
     rng = Prng.create seed;
     own_vns = Hashtbl.create 16;
     repairs_sent;
@@ -218,7 +231,13 @@ let send_repairs t (p : pending) =
         let rid = Engine.fresh_rid t.eng in
         Net.send t.net ~src:t.name ~dst:t.replicas.(i)
           (Protocol.Install_req
-             { rid; key = p.key; vn = p.best_vn; value = p.best_value })
+             {
+               rid;
+               key = p.key;
+               vn = p.best_vn;
+               value = p.best_value;
+               ctx = p.ctx;
+             })
       end)
     p.replies
 
@@ -303,7 +322,7 @@ and start_install t (p : pending) ~value =
   p.best_vn <- vn;
   p.best_value <- value;
   gather t p ~rid ~side:`Write (fun rid ->
-      Protocol.Install_req { rid; key = p.key; vn; value })
+      Protocol.Install_req { rid; key = p.key; vn; value; ctx = p.ctx })
 
 and gather t (p : pending) ~rid ~side make =
   let targets, fanout = targets_for t ~side in
@@ -322,6 +341,19 @@ let handle t ~src msg = Engine.handle t.eng ~src msg
 let start_op t ~key ~phase ~on_done =
   let rid = Engine.fresh_rid t.eng in
   let tr = tracer t in
+  (* mint the operation id before the root span so the span can carry
+     it; the shard is embedded because routed clients share a name *)
+  let op_id =
+    if t.trace_ctx && Obs.Trace.enabled tr then begin
+      let n = t.next_op in
+      t.next_op <- n + 1;
+      Some
+        (match t.shard with
+        | Some s -> Printf.sprintf "%s.s%d#%d" t.name s n
+        | None -> Printf.sprintf "%s#%d" t.name n)
+    end
+    else None
+  in
   let span =
     if Obs.Trace.enabled tr then
       let name =
@@ -330,15 +362,28 @@ let start_op t ~key ~phase ~on_done =
         | PWrite_query _ -> "write"
         | PInstall -> "install"
       in
-      Some
-        (Obs.Trace.begin_span tr ~cat:"store" ~name ~track:t.name
-           ~args:[ ("key", Obs.Trace.Str key); ("rid", Obs.Trace.Int rid) ]
-           ())
+      let args =
+        [ ("key", Obs.Trace.Str key); ("rid", Obs.Trace.Int rid) ]
+        @ (match op_id with
+          | Some id ->
+              ("op", Obs.Trace.Str id)
+              :: (match t.shard with
+                 | Some s -> [ ("shard", Obs.Trace.Int s) ]
+                 | None -> [])
+          | None -> [])
+      in
+      Some (Obs.Trace.begin_span tr ~cat:"store" ~name ~track:t.name ~args ())
     else None
+  in
+  let ctx =
+    match (op_id, span) with
+    | Some id, Some sp ->
+        Some (Obs.Ctx.make ~op:id ~parent:(Obs.Trace.span_id sp))
+    | _ -> None
   in
   let p_ref = ref None in
   let op =
-    Engine.start_op t.eng ~timeout:t.timeout ~on_timeout:(fun () ->
+    Engine.start_op ?ctx t.eng ~timeout:t.timeout ~on_timeout:(fun () ->
         match !p_ref with
         | None -> ()
         | Some p ->
@@ -360,6 +405,7 @@ let start_op t ~key ~phase ~on_done =
       replies = [];
       op;
       span;
+      ctx;
       on_done;
     }
   in
@@ -369,12 +415,14 @@ let start_op t ~key ~phase ~on_done =
 (** Issue a logical read of [key]. *)
 let read t ~key ~on_done =
   let p = start_op t ~key ~phase:PRead ~on_done in
-  gather t p ~rid:p.rid ~side:`Read (fun rid -> Protocol.Query_req { rid; key })
+  gather t p ~rid:p.rid ~side:`Read (fun rid ->
+      Protocol.Query_req { rid; key; ctx = p.ctx })
 
 (** Issue a logical write of [key := value]. *)
 let write t ~key ~value ~on_done =
   let p = start_op t ~key ~phase:(PWrite_query value) ~on_done in
-  gather t p ~rid:p.rid ~side:`Read (fun rid -> Protocol.Query_req { rid; key })
+  gather t p ~rid:p.rid ~side:`Read (fun rid ->
+      Protocol.Query_req { rid; key; ctx = p.ctx })
 
 (** Install [(vn, value)] directly, skipping the version query — the
     data-migration step of reconfiguration, where the version number
@@ -388,6 +436,6 @@ let install t ~key ~vn ~value ~on_done =
   ignore
     (Engine.call t.eng ~op:p.op ~rid:p.rid
        ~targets:(Array.to_list t.replicas)
-       ~make:(fun rid -> Protocol.Install_req { rid; key; vn; value })
+       ~make:(fun rid -> Protocol.Install_req { rid; key; vn; value; ctx = p.ctx })
        ~on_reply:(fun ~src msg -> on_reply t p ~src msg)
        ())

@@ -28,6 +28,14 @@ type t = {
       (** reads push the newest (version, value) back to stale
           replicas they observed — anti-entropy on the read path *)
   targeting : targeting;
+  trace_ctx : bool;
+      (** mint a causal trace context per operation and stamp it onto
+          every frame the operation sends (see {!Obs.Ctx}) — off by
+          default, because the stamps change the trace byte stream *)
+  shard : int option;
+      (** embedded in op ids, so routed clients sharing a name still
+          mint unique ids *)
+  mutable next_op : int;  (** per-client operation sequence number *)
   rng : Qc_util.Prng.t;
   own_vns : (string, int) Hashtbl.t;
       (** highest version issued per key — the single writer never
@@ -49,6 +57,7 @@ val create :
   ?timeout:float ->
   ?read_repair:bool ->
   ?targeting:targeting ->
+  ?trace_ctx:bool ->
   ?policy:Rpc.Policy.t ->
   ?seed:int ->
   ?metrics:Obs.Metrics.t ->
@@ -69,7 +78,14 @@ val create :
     [batch_window].
     Every operation is traced as a span on the simulator's tracer
     (begin at issue, end at quorum/timeout), with reply / phase-switch
-    / timeout instants in between. *)
+    / timeout instants in between.
+    [trace_ctx] (default [false]) additionally mints a causal context
+    per operation — an op id like ["c0#12"] (["c0.s1#3"] when sharded)
+    rooted at the operation span — and stamps it onto every request
+    frame, attempt span, and reply/hedge instant, so replica-side
+    spans link back to the originating operation and {!Obs.Query} /
+    {!Obs.Attribution} can stitch the full causal tree.  Off, the
+    emitted trace is byte-identical to historical runs. *)
 
 val set_policy : t -> Rpc.Policy.t -> unit
 (** Swap the retry/hedge policy; applies to operations issued after

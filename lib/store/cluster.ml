@@ -72,6 +72,15 @@ type params = {
       (** AIMD-controlled batching window of every client engine
           (takes precedence over [batch_window]); [None] (default)
           keeps the static window, byte-identically *)
+  trace_ctx : bool;
+      (** stamp every operation with a causal trace context (op id +
+          parent span) carried through engine and protocol frames to
+          the replicas — the raw material of [Obs.Attribution]; off by
+          default because the stamps change the trace byte stream *)
+  health_window : float option;
+      (** attach an [Obs.Health] monitor with this rolling window and
+          sample it every half-window while the workload runs; [None]
+          (default) attaches nothing and schedules nothing *)
 }
 
 let default_params =
@@ -98,6 +107,8 @@ let default_params =
     fsync_cost = 0.0;
     group_commit = true;
     adaptive_window = None;
+    trace_ctx = false;
+    health_window = None;
   }
 
 type audit_entry = {
@@ -137,6 +148,9 @@ type results = {
           [Obs.Query]; empty unless tracing was enabled *)
   metrics : Obs.Metrics.t;
       (** the shared registry of every replica and client counter *)
+  health : Obs.Health.snapshot list;
+      (** every health sample taken during the run, chronological —
+          empty unless [health_window] was set *)
 }
 
 let availability r =
@@ -207,6 +221,32 @@ let run (p : params) : results =
   let read_lat = Sim.Stats.create () and write_lat = Sim.Stats.create () in
   let ok_reads = ref 0 and failed_reads = ref 0 in
   let ok_writes = ref 0 and failed_writes = ref 0 in
+  (* the health monitor, when asked for: per-shard rolling windows fed
+     by every completed operation, with the apply-queue probe averaging
+     over the shard's replicas *)
+  let health_samples = ref [] in
+  let health =
+    match p.health_window with
+    | None -> None
+    | Some w ->
+        let queue_depth s =
+          let g = replicas.(s) in
+          let total =
+            Array.fold_left (fun acc r -> acc + Replica.queue_depth r) 0 g
+          in
+          float_of_int total /. float_of_int (Array.length g)
+        in
+        let h = Obs.Health.create ~window:w ~n_shards:p.n_shards ~queue_depth () in
+        Obs.Health.subscribe h (fun snaps ->
+            health_samples := List.rev_append snaps !health_samples);
+        Some h
+  in
+  let health_record ~shard ~read ~ok ~latency =
+    match health with
+    | Some h ->
+        Obs.Health.record h ~at:(Core.now sim) ~shard ~read ~ok ~latency
+    | None -> ()
+  in
   let shard_ok = Array.make p.n_shards 0 in
   let shard_failed = Array.make p.n_shards 0 in
   (* audit state *)
@@ -222,7 +262,8 @@ let run (p : params) : results =
         let c =
           Router.create ~name ~sim ~net ~groups:group_names ~strategies
             ~scheme:p.shard_scheme ~n_keys:p.workload.Workload.n_keys
-            ~timeout:p.timeout ~targeting:p.targeting ~policy:p.policy
+            ~timeout:p.timeout ~targeting:p.targeting
+            ~trace_ctx:p.trace_ctx ~policy:p.policy
             ~seed:(p.seed + ci) ~metrics ?batch_window:p.batch_window
             ?adaptive_window:p.adaptive_window ()
         in
@@ -237,6 +278,7 @@ let run (p : params) : results =
     let started = Core.now sim in
     Router.read c ~key ~on_done:(fun ~ok ~vn ~value ~latency ->
         let s = shard_of key in
+        health_record ~shard:s ~read:true ~ok ~latency;
         if ok then begin
           incr ok_reads;
           shard_ok.(s) <- shard_ok.(s) + 1;
@@ -274,6 +316,7 @@ let run (p : params) : results =
   let run_write (c : Router.t) key v ~k =
     Router.write c ~key ~value:v ~on_done:(fun ~ok ~vn ~value:_ ~latency ->
         let s = shard_of key in
+        health_record ~shard:s ~read:false ~ok ~latency;
         if ok then begin
           incr ok_writes;
           shard_ok.(s) <- shard_ok.(s) + 1;
@@ -351,6 +394,22 @@ let run (p : params) : results =
   List.iter
     (fun (ci, c) -> issue ci c p.workload.Workload.ops_per_client ci)
     clients;
+  (* the health sampler: every half-window until the workload has
+     completed, so the event queue still drains *)
+  (match health with
+  | Some h ->
+      let total = p.n_clients * p.workload.Workload.ops_per_client in
+      let period = Obs.Health.window h /. 2.0 in
+      let completed () =
+        !ok_reads + !failed_reads + !ok_writes + !failed_writes
+      in
+      let rec tick () =
+        Core.schedule sim ~delay:period (fun () ->
+            ignore (Obs.Health.sample h ~at:(Core.now sim));
+            if completed () < total then tick ())
+      in
+      if total > 0 then tick ()
+  | None -> ());
   (* failure injection *)
   (match p.failures with
   | Some spec ->
@@ -458,4 +517,36 @@ let run (p : params) : results =
       |> List.fold_left (fun acc r -> acc + Replica.fsyncs r) 0;
     trace = tracer;
     metrics;
+    health = List.rev !health_samples;
   }
+
+(** A stable digest of the run's simulation outcome — every
+    observable result except the observability side channels (trace,
+    metrics registry, health samples).  Floats render as hex ([%h]),
+    so equality is bit-equality: two runs digest equal iff the
+    simulation behaved identically.  This is what the tracing
+    non-interference check compares — enabling tracing or causal
+    stamping must never change the digest of a seeded run. *)
+let digest (r : results) : string =
+  let b = Buffer.create 1024 in
+  let add fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  let summary (s : Sim.Stats.summary) =
+    add "%d %h %h %h %h %h %h %h;" s.Sim.Stats.count s.Sim.Stats.mean
+      s.Sim.Stats.p50 s.Sim.Stats.p90 s.Sim.Stats.p95 s.Sim.Stats.p99
+      s.Sim.Stats.p999 s.Sim.Stats.max
+  in
+  summary r.reads;
+  summary r.writes;
+  add "ops %d %d %d %d;" r.ok_reads r.failed_reads r.ok_writes r.failed_writes;
+  add "net %d %d %d %d %d %d %d %d %d;" r.net.Net.sent r.net.Net.delivered
+    r.net.Net.payload_sent r.net.Net.payload_delivered r.net.Net.dropped
+    r.net.Net.drop_sender_down r.net.Net.drop_dest_down r.net.Net.drop_link_cut
+    r.net.Net.drop_loss;
+  List.iter (fun (name, load) -> add "load %s %d;" name load) r.replica_loads;
+  List.iter
+    (fun s -> add "shard %d %d %d %d;" s.shard s.ok_ops s.failed_ops s.load)
+    r.shards;
+  List.iter (fun v -> add "violation %s;" v) r.audit_violations;
+  add "duration %h;" r.duration;
+  add "io %d %d" r.installs r.fsyncs;
+  Digest.to_hex (Digest.string (Buffer.contents b))

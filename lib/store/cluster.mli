@@ -52,6 +52,16 @@ type params = {
   adaptive_window : Rpc.Window.config option;
       (** AIMD-controlled batching window of every client engine
           (takes precedence over [batch_window]; [None] = static) *)
+  trace_ctx : bool;
+      (** stamp every operation with a causal trace context carried
+          through the engine and protocol frames to the replicas — the
+          raw material of [Obs.Attribution]; off by default because
+          the stamps change the trace byte stream (never the
+          simulation — see {!digest}) *)
+  health_window : float option;
+      (** attach an [Obs.Health] monitor with this rolling window,
+          sampled every half-window while the workload runs ([None] =
+          none, the historical behaviour) *)
 }
 
 val default_params : params
@@ -84,9 +94,22 @@ type results = {
       (** export with [Obs.Export], query with [Obs.Query] *)
   metrics : Obs.Metrics.t;
       (** shared registry of every replica and client counter *)
+  health : Obs.Health.snapshot list;
+      (** every health sample taken during the run, chronological —
+          empty unless [health_window] was set *)
 }
 
 val availability : results -> float
 (** Fraction of operations that succeeded. *)
 
 val run : params -> results
+
+val digest : results -> string
+(** A stable digest of the run's simulation outcome — latency
+    summaries, operation/net counters, per-replica loads, shard stats,
+    audit verdicts, duration, io counts — excluding the observability
+    side channels (trace, metrics registry, health samples).  Floats
+    compare bit-exactly.  Two seeded runs digest equal iff the
+    simulation behaved identically, which is how the tracing
+    non-interference check asserts that enabling tracing or causal
+    stamping changes no simulation outcome. *)

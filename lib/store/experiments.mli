@@ -199,3 +199,23 @@ val window_table : ?seed:int -> unit -> window_row list
     window should match or beat the best static window's wire-message
     count on the burst workload while adding no latency on the
     low-rate one. *)
+
+type attr_row = {
+  a_label : string;  (** e.g. ["loss=30% burst=8"] *)
+  a_ops : int;  (** stamped operations attributed *)
+  a_wall_mean : float;  (** mean wall latency over attributed ops *)
+  a_phase_means : (Obs.Attribution.phase * float) list;
+      (** mean time units per op per phase, in
+          {!Obs.Attribution.phases} order; sums to [a_wall_mean] up to
+          float error *)
+  a_ok_ops : int;
+  a_failed_ops : int;
+  a_audit_clean : bool;
+}
+
+val attribution_table : ?seed:int -> unit -> attr_row list
+(** Ablation: causal latency attribution across loss (0% vs 30%) and
+    burst size (1 vs 8) on a 2-shard cluster with retries, a static
+    batch window, and storage costs — each knob's latency cost lands
+    in its own phase (backoff under loss, batch-wait and fsync under
+    bursts) and every row's phases sum to its wall mean. *)

@@ -6,9 +6,15 @@
     the batch, the wrapped requests keep their own rids). *)
 
 type msg =
-  | Query_req of { rid : int; key : string }
+  | Query_req of { rid : int; key : string; ctx : Obs.Ctx.t option }
   | Query_rep of { rid : int; key : string; vn : int; value : int }
-  | Install_req of { rid : int; key : string; vn : int; value : int }
+  | Install_req of {
+      rid : int;
+      key : string;
+      vn : int;
+      value : int;
+      ctx : Obs.Ctx.t option;
+    }
   | Install_ack of { rid : int; key : string }
   | Batch_req of { rid : int; reqs : msg list }
   | Batch_rep of { rid : int; reps : msg list }
@@ -19,6 +25,10 @@ let rid = function
   | Batch_req { rid; _ }
   | Batch_rep { rid; _ } ->
       rid
+
+let ctx = function
+  | Query_req { ctx; _ } | Install_req { ctx; _ } -> ctx
+  | Query_rep _ | Install_ack _ | Batch_req _ | Batch_rep _ -> None
 
 (** The engine batching hooks for this protocol — pass to
     [Rpc.Engine.set_batching] with the chosen window. *)

@@ -4,18 +4,30 @@
     one message. *)
 
 type msg =
-  | Query_req of { rid : int; key : string }
+  | Query_req of { rid : int; key : string; ctx : Obs.Ctx.t option }
   | Query_rep of { rid : int; key : string; vn : int; value : int }
-  | Install_req of { rid : int; key : string; vn : int; value : int }
+  | Install_req of {
+      rid : int;
+      key : string;
+      vn : int;
+      value : int;
+      ctx : Obs.Ctx.t option;
+    }
   | Install_ack of { rid : int; key : string }
   | Batch_req of { rid : int; reqs : msg list }
       (** several requests for one replica in one wire message; the
           frame rid identifies the batch, each wrapped request keeps
-          its own rid *)
+          its own rid — and its own causal [ctx], so a coalesced frame
+          carries one context per wrapped operation *)
   | Batch_rep of { rid : int; reps : msg list }
       (** the replica's answers to a [Batch_req], echoing its rid *)
 
 val rid : msg -> int
+
+val ctx : msg -> Obs.Ctx.t option
+(** The causal stamp carried by a request frame, if any.  Replies and
+    batch frames carry none of their own (each request wrapped in a
+    batch keeps its own). *)
 
 val batching : window:float -> msg Rpc.Engine.batching
 (** The engine batching hooks for this protocol (see

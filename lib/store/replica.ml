@@ -34,6 +34,10 @@ type pending = {
   p_key : string;
   p_value : int;
   p_ack : unit -> unit;  (** deliver the install ack (post-fsync) *)
+  p_ctx : Obs.Ctx.t option;  (** the originating operation's stamp *)
+  p_qspan : Obs.Trace.span option;
+      (** the [replica.queue] wait span, begun at enqueue and ended
+          when the install's group leaves the queue *)
 }
 
 type t = {
@@ -103,7 +107,7 @@ let apply t ~vn ~key ~value =
    again if more arrived meanwhile.  [draining] keeps one group at the
    device at a time; installs landing mid-drain wait for the next
    group, which is exactly where the amortization comes from. *)
-let rec drain t =
+let rec drain t ~(tr : Obs.Trace.t) =
   match t.storage with
   | None -> ()
   | Some st ->
@@ -120,6 +124,28 @@ let rec drain t =
         (match t.m_queue_depth with
         | Some h -> Obs.Metrics.observe h (float_of_int (List.length group))
         | None -> ());
+        (* the group leaves the queue now: close its wait spans *)
+        List.iter
+          (fun p ->
+            match p.p_qspan with
+            | Some sp -> Obs.Trace.end_span tr sp ()
+            | None -> ())
+          group;
+        (* one apply (and later fsync) span per stamped member — the
+           group shares the device round, but each operation's causal
+           tree needs its own interval *)
+        let stamped =
+          if Obs.Trace.enabled tr then
+            List.filter_map
+              (fun p -> Option.map (fun cx -> (p, cx)) p.p_ctx)
+              group
+          else []
+        in
+        let span_for name (_, cx) =
+          Obs.Trace.begin_span tr ~cat:"store" ~name ~track:t.name
+            ~args:(Obs.Ctx.args cx) ()
+        in
+        let apply_spans = List.map (span_for "replica.apply") stamped in
         (* apply in version order: within a group the store must step
            through versions monotonically per key, whatever order the
            installs arrived in *)
@@ -130,16 +156,23 @@ let rec drain t =
             List.iter
               (fun p -> apply t ~vn:p.p_vn ~key:p.p_key ~value:p.p_value)
               ordered;
+            List.iter (fun sp -> Obs.Trace.end_span tr sp ()) apply_spans;
+            let fsync_spans = List.map (span_for "replica.fsync") stamped in
             Sim.Storage.fsync st (fun () ->
                 (match t.m_fsyncs with
                 | Some c -> Obs.Metrics.inc c
                 | None -> ());
+                List.iter (fun sp -> Obs.Trace.end_span tr sp ()) fsync_spans;
                 (* ack in arrival order, only now that the group is
                    durable *)
                 List.iter (fun p -> p.p_ack ()) group;
                 t.draining <- false;
-                drain t))
+                drain t ~tr))
       end
+
+(* a request's causal stamp, appended to the replica's instant args —
+   empty (and allocation-free) for unstamped frames *)
+let ctx_args = function None -> [] | Some cx -> Obs.Ctx.args cx
 
 (* Answer one request, delivering each reply through [reply] — possibly
    asynchronously (a pipelined install acks after its group's fsync; a
@@ -147,24 +180,27 @@ let rec drain t =
    reply. *)
 let rec serve t ~(tr : Obs.Trace.t) ~reply msg =
   match msg with
-  | Protocol.Query_req { rid; key } ->
+  | Protocol.Query_req { rid; key; ctx } ->
       Obs.Metrics.inc t.queries;
       if Obs.Trace.enabled tr then
         Obs.Trace.instant tr ~cat:"store" ~name:"query" ~track:t.name
-          ~args:[ ("key", Obs.Trace.Str key); ("rid", Obs.Trace.Int rid) ]
+          ~args:
+            ([ ("key", Obs.Trace.Str key); ("rid", Obs.Trace.Int rid) ]
+            @ ctx_args ctx)
           ();
       let vn, value = lookup t key in
       reply (Protocol.Query_rep { rid; key; vn; value })
-  | Protocol.Install_req { rid; key; vn; value } -> (
+  | Protocol.Install_req { rid; key; vn; value; ctx } -> (
       Obs.Metrics.inc t.installs;
       if Obs.Trace.enabled tr then
         Obs.Trace.instant tr ~cat:"store" ~name:"install" ~track:t.name
           ~args:
-            [
-              ("key", Obs.Trace.Str key);
-              ("rid", Obs.Trace.Int rid);
-              ("vn", Obs.Trace.Int vn);
-            ]
+            ([
+               ("key", Obs.Trace.Str key);
+               ("rid", Obs.Trace.Int rid);
+               ("vn", Obs.Trace.Int vn);
+             ]
+            @ ctx_args ctx)
           ();
       match t.storage with
       | None ->
@@ -172,15 +208,25 @@ let rec serve t ~(tr : Obs.Trace.t) ~reply msg =
           apply t ~vn ~key ~value;
           reply (Protocol.Install_ack { rid; key })
       | Some _ ->
+          let qspan =
+            match ctx with
+            | Some cx when Obs.Trace.enabled tr ->
+                Some
+                  (Obs.Trace.begin_span tr ~cat:"store" ~name:"replica.queue"
+                     ~track:t.name ~args:(Obs.Ctx.args cx) ())
+            | _ -> None
+          in
           Queue.add
             {
               p_vn = vn;
               p_key = key;
               p_value = value;
               p_ack = (fun () -> reply (Protocol.Install_ack { rid; key }));
+              p_ctx = ctx;
+              p_qspan = qspan;
             }
             t.queue;
-          drain t)
+          drain t ~tr)
   | Protocol.Batch_req { rid; reqs } ->
       if Obs.Trace.enabled tr then
         Obs.Trace.instant tr ~cat:"store" ~name:"batch" ~track:t.name

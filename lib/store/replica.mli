@@ -14,13 +14,24 @@
     after durability, so a write quorum of acks certifies the version
     exactly as in the synchronous replica.  Without a device (the
     default) every request is answered synchronously, byte-identically
-    to the historical replica. *)
+    to the historical replica.
+
+    Requests stamped with a causal context (see {!Obs.Ctx}) earn
+    ctx-stamped trace events: the query/install instants carry the op
+    id, and a pipelined install opens [replica.queue] /
+    [replica.apply] / [replica.fsync] spans linked to the originating
+    operation's causal tree.  Unstamped frames trace byte-identically
+    to before. *)
 
 type pending = {
   p_vn : int;
   p_key : string;
   p_value : int;
   p_ack : unit -> unit;  (** deliver the install ack (post-fsync) *)
+  p_ctx : Obs.Ctx.t option;  (** the originating operation's stamp *)
+  p_qspan : Obs.Trace.span option;
+      (** the [replica.queue] wait span, begun at enqueue and ended
+          when the install's group leaves the queue *)
 }
 
 type t = {

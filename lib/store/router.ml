@@ -75,7 +75,8 @@ type t = {
 let create ~name ~sim ~net ~(groups : string array array)
     ~(strategies : Strategy.t array) ~(scheme : scheme) ~n_keys
     ?(timeout = 100.0) ?(read_repair = false) ?(targeting = `Broadcast)
-    ?policy ?(seed = 1) ?metrics ?batch_window ?adaptive_window () =
+    ?(trace_ctx = false) ?policy ?(seed = 1) ?metrics ?batch_window
+    ?adaptive_window () =
   let n_shards = Array.length groups in
   if n_shards < 1 then invalid_arg "Router.create: no shards";
   if Array.length strategies <> n_shards then
@@ -88,7 +89,8 @@ let create ~name ~sim ~net ~(groups : string array array)
            configurations reproduce pre-router runs byte for byte *)
         let shard = if n_shards = 1 then None else Some s in
         Client.create ~name ~sim ~net ~replicas:group
-          ~strategy:strategies.(s) ~timeout ~read_repair ~targeting ?policy
+          ~strategy:strategies.(s) ~timeout ~read_repair ~targeting ~trace_ctx
+          ?policy
           ~seed:(seed + (7919 * s))
           ?metrics ?shard ?batch_window ?adaptive_window ())
       groups

@@ -37,6 +37,7 @@ val create :
   ?timeout:float ->
   ?read_repair:bool ->
   ?targeting:Client.targeting ->
+  ?trace_ctx:bool ->
   ?policy:Rpc.Policy.t ->
   ?seed:int ->
   ?metrics:Obs.Metrics.t ->
@@ -48,7 +49,10 @@ val create :
     [strategies.(s)], seed [seed + 7919*s], and — when there is more
     than one shard — a [("shard", s)] metric label).  [n_keys] bounds
     the [`Range] partition.  [adaptive_window] enables AIMD-controlled
-    batching on every shard (see {!Client.create}).
+    batching on every shard (see {!Client.create}).  [trace_ctx]
+    (default false) turns on causal trace stamping on every shard
+    client — shard clients share the router's name, so sharded op ids
+    embed the shard (["c0.s1#3"]; see {!Client.create}).
     @raise Invalid_argument on zero shards or mismatched strategies. *)
 
 val n_shards : t -> int

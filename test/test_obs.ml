@@ -72,6 +72,34 @@ let test_json_roundtrip () =
       Alcotest.(check (option string)) "member" (Some "x\"y\n")
         (Option.bind (Json.member "b" j') Json.to_string_opt)
 
+let test_json_control_chars () =
+  (* control characters must be escaped — raw bytes below 0x20 in the
+     output would corrupt JSONL (literal newline splits the line) *)
+  let j = Json.Str "a\nb\tc\x01d\re\x1ff" in
+  let s = Json.to_string j in
+  String.iter
+    (fun ch ->
+      Alcotest.(check bool) "no raw control byte" true (Char.code ch >= 0x20))
+    s;
+  Alcotest.(check string) "escaped form" "\"a\\nb\\tc\\u0001d\\re\\u001ff\"" s;
+  (match Json.parse s with
+  | Error e -> Alcotest.fail e
+  | Ok j' -> Alcotest.(check bool) "roundtrip" true (j = j'));
+  (* and through the trace exporter: a pathological arg stays one line *)
+  let tr = Trace.create ~capacity:8 () in
+  Trace.instant tr ~cat:"t" ~name:"e" ~ts:1.0
+    ~args:[ ("msg", Trace.Str "evil\nvalue\x01") ]
+    ();
+  let line = String.trim (Export.jsonl tr) in
+  Alcotest.(check bool) "one JSONL line" true
+    (not (String.contains line '\n'));
+  match Export.parse_jsonl line with
+  | Error e -> Alcotest.fail e
+  | Ok [ e ] ->
+      Alcotest.(check (option string)) "arg survives" (Some "evil\nvalue\x01")
+        (Query.arg_str e.Trace.args "msg")
+  | Ok _ -> Alcotest.fail "expected exactly one event"
+
 let test_json_rejects_garbage () =
   List.iter
     (fun s ->
@@ -80,6 +108,79 @@ let test_json_rejects_garbage () =
         true
         (Result.is_error (Json.parse s)))
     [ "{"; "[1,"; "{\"a\":}"; "tru"; "{\"a\":1}x"; "\"unterminated" ]
+
+(* ---------- export: wraparound, strict import ---------- *)
+
+let test_ring_wraparound_export () =
+  (* overflow a tiny ring so the oldest B events are evicted while
+     their E events survive: the Chrome export must drop the orphan
+     E events (stay loadable), and the query layer must not fabricate
+     spans from them *)
+  let tr = Trace.create ~capacity:6 () in
+  let spans =
+    List.init 8 (fun i ->
+        Trace.begin_span tr ~cat:"t" ~name:(Fmt.str "s%d" i)
+          ~ts:(float_of_int i) ())
+  in
+  List.iteri
+    (fun i s -> Trace.end_span tr s ~ts:(float_of_int (10 + i)) ())
+    spans;
+  Alcotest.(check bool) "ring actually wrapped" true (Trace.overwritten tr > 0);
+  let events = Trace.events tr in
+  let orphan_es =
+    List.filter
+      (fun (e : Trace.event) ->
+        e.Trace.ph = Trace.E
+        && not
+             (List.exists
+                (fun (b : Trace.event) ->
+                  b.Trace.ph = Trace.B && b.Trace.id = e.Trace.id)
+                events))
+      events
+  in
+  Alcotest.(check bool) "orphan E events present" true (orphan_es <> []);
+  (match Export.check_chrome (Export.chrome_of_events events) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("chrome export broken by wraparound: " ^ e));
+  let stitched = Query.spans events in
+  List.iter
+    (fun (o : Trace.event) ->
+      Alcotest.(check bool) "orphan E not stitched" true
+        (not (List.exists (fun (s : Query.span) -> s.Query.id = o.Trace.id)
+                stitched)))
+    orphan_es
+
+let test_parse_jsonl_strict () =
+  let tr = Trace.create ~capacity:16 () in
+  let s = Trace.begin_span tr ~cat:"c" ~name:"op" ~ts:1.0
+      ~args:[ ("op", Trace.Str "c0#1"); ("n", Trace.Int 3) ] () in
+  Trace.instant tr ~cat:"c" ~name:"mark" ~ts:1.5 ();
+  Trace.end_span tr s ~ts:2.0 ();
+  let good = Export.jsonl tr in
+  (match Export.parse_jsonl good with
+  | Error e -> Alcotest.fail e
+  | Ok evs ->
+      Alcotest.(check int) "all events" 3 (List.length evs);
+      (* parse-then-re-export is byte-stable *)
+      Alcotest.(check string) "round-trip bytes" good
+        (Export.jsonl_of_events evs));
+  (* a corrupt line fails with its line number — never a partial trace *)
+  let lines = String.split_on_char '\n' (String.trim good) in
+  let corrupt =
+    String.concat "\n"
+      (List.mapi (fun i l -> if i = 1 then "{\"ts\": oops}" else l) lines)
+  in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  match Export.parse_jsonl corrupt with
+  | Ok _ -> Alcotest.fail "accepted corrupt input"
+  | Error e ->
+      Alcotest.(check bool)
+        (Fmt.str "error %S names line 2" e)
+        true (contains_sub e "line 2")
 
 (* ---------- metrics ---------- *)
 
@@ -304,7 +405,15 @@ let suites =
     ( "obs.json",
       [
         Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "control characters escaped" `Quick
+          test_json_control_chars;
         Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+      ] );
+    ( "obs.export",
+      [
+        Alcotest.test_case "wraparound keeps chrome well-formed" `Quick
+          test_ring_wraparound_export;
+        Alcotest.test_case "strict jsonl import" `Quick test_parse_jsonl_strict;
       ] );
     ( "obs.metrics",
       [

@@ -74,7 +74,7 @@ let replica_world ~group_commit ~fsync_cost =
   let install ~rid ~vn =
     Store.Replica.serve r ~tr
       ~reply:(fun m -> replies := (m, Core.now sim) :: !replies)
-      (Store.Protocol.Install_req { rid; key = "k"; vn; value = vn * 10 })
+      (Store.Protocol.Install_req { rid; key = "k"; vn; value = vn * 10; ctx = None })
   in
   (sim, st, r, replies, install)
 

@@ -94,9 +94,9 @@ let test_replica_batch_round_trip () =
            rid = 9;
            reqs =
              [
-               P.Install_req { rid = 1; key = "a"; vn = 1; value = 10 };
-               P.Query_req { rid = 2; key = "a" };
-               P.Query_req { rid = 3; key = "missing" };
+               P.Install_req { rid = 1; key = "a"; vn = 1; value = 10; ctx = None };
+               P.Query_req { rid = 2; key = "a"; ctx = None };
+               P.Query_req { rid = 3; key = "missing"; ctx = None };
              ];
          })
   in

@@ -282,7 +282,7 @@ let test_stale_install_ignored () =
   Store.Replica.attach r ~net;
   Sim.Net.register net ~node:"c" (fun ~src:_ _ -> ());
   Sim.Net.send net ~src:"c" ~dst:"r"
-    (Store.Protocol.Install_req { rid = 0; key = "k"; vn = 3; value = 30 });
+    (Store.Protocol.Install_req { rid = 0; key = "k"; vn = 3; value = 30; ctx = None });
   Sim.Core.run sim;
   Alcotest.(check (pair int int)) "newer survives" (5, 50)
     (Store.Replica.lookup r "k")
