@@ -311,6 +311,35 @@ let t_sharded_group_commit =
     (Staged.stage (fun () ->
          Store.Cluster.run (storage_cluster_params true)))
 
+(* the fault-schedule layer on the hot path: the same sharded cluster
+   under a scripted rolling partition — each shard in turn isolated
+   from the rest for 30 time units, healed before the next window
+   opens.  Deterministic (pure timed steps, no storm PRNG), so the
+   bench measures the script interpreter + fault handling, not noise. *)
+let rolling_partition_script =
+  let groups =
+    Array.init 4 (fun s -> List.init 3 (fun i -> Fmt.str "s%d:r%d" s i))
+  in
+  let all = List.concat (Array.to_list groups) in
+  List.concat
+    (List.init 4 (fun s ->
+         let side = groups.(s) in
+         let rest = List.filter (fun n -> not (List.mem n side)) all in
+         let t0 = 40.0 +. (60.0 *. float_of_int s) in
+         [
+           Harness.Script.At (t0, Harness.Script.Partition [ side; rest ]);
+           Harness.Script.At (t0 +. 30.0, Harness.Script.Heal);
+         ]))
+
+let t_scripted_rolling_partition =
+  Test.make ~name:"Q4 scripted rolling partition (4 shards)"
+    (Staged.stage (fun () ->
+         Store.Cluster.run
+           {
+             (sharded_cluster_params None) with
+             Store.Cluster.script = rolling_partition_script;
+           }))
+
 let t_sharded_adaptive_window =
   Test.make ~name:"Q3 sharded cluster run (4 shards, adaptive window)"
     (Staged.stage (fun () ->
@@ -354,6 +383,7 @@ let all_tests =
     t_sharded_naive_fsync;
     t_sharded_group_commit;
     t_sharded_adaptive_window;
+    t_scripted_rolling_partition;
   ]
 
 let test_name t = Test.Elt.name (List.hd (Test.elements t))

@@ -1,0 +1,227 @@
+(* The seed-swarm fuzzer CLI.
+
+   `swarm sweep` pushes a range of seeds through randomized fault
+   scripts against a simulated cluster, audits every run
+   (single-writer consistency + liveness after heal), minimizes any
+   failure to a smaller script, prints a replayable `swarm repro`
+   one-liner per failure and optionally a JSON report.  `swarm repro`
+   replays one (seed, script) pair and reports the violations.
+
+   Exit status: 0 when every audited run is clean, 1 when any
+   violation was found (including a successful repro — reproducing a
+   violation is a failing exit so CI can gate on it). *)
+
+module Prng = Qc_util.Prng
+module Script = Harness.Script
+
+type shape = {
+  shards : int;
+  replicas : int;
+  clients : int;
+  ops : int;
+  unsafe : bool;
+}
+
+(* mirror Cluster.run's naming so generated scripts target real nodes *)
+let groups_of shape =
+  if shape.shards = 1 then
+    [| Array.init shape.replicas (fun i -> Fmt.str "r%d" i) |]
+  else
+    Array.init shape.shards (fun s ->
+        Array.init shape.replicas (fun i -> Fmt.str "s%d:r%d" s i))
+
+let client_names shape = List.init shape.clients (fun i -> Fmt.str "c%d" i)
+
+(* read-1/write-1 quorums do not intersect: the planted bug used by
+   the CI canary to prove the swarm catches real violations *)
+let unsafe_strategy n =
+  Store.Strategy.make ~name:"unsafe-1/1" ~n
+    ~read_ok:(fun m -> Store.Strategy.popcount m >= 1)
+    ~write_ok:(fun m -> Store.Strategy.popcount m >= 1)
+
+let run_one shape ~seed script =
+  let r =
+    Store.Cluster.run
+      {
+        Store.Cluster.default_params with
+        n_replicas = shape.replicas;
+        n_clients = shape.clients;
+        n_shards = shape.shards;
+        strategy =
+          (if shape.unsafe then unsafe_strategy else Store.Strategy.majority);
+        targeting = `Quorum;
+        policy = Rpc.Policy.with_hedge ~base:(Rpc.Policy.with_retries 2) 12.0;
+        workload =
+          {
+            Store.Workload.default_spec with
+            ops_per_client = shape.ops;
+            read_fraction = 0.5;
+          };
+        seed;
+        script;
+      }
+  in
+  let audit = r.Store.Cluster.audit_violations in
+  match
+    Harness.Check.liveness_after_heal ~script
+      ~completions:r.Store.Cluster.completions
+  with
+  | Ok () -> audit
+  | Error e -> audit @ [ Fmt.str "liveness: %s" e ]
+
+let gen_for shape ~seed =
+  Harness.Gen.script (Prng.create seed) ~groups:(groups_of shape)
+    ~clients:(client_names shape) ~horizon:300.0
+
+let extra_flags shape =
+  Fmt.str "--shards %d --replicas %d --clients %d --ops %d%s" shape.shards
+    shape.replicas shape.clients shape.ops
+    (if shape.unsafe then " --unsafe" else "")
+
+let sweep shape seeds seed0 max_failures json_path =
+  (* fail fast on a structurally broken configuration: fuzzing a
+     known-illegal quorum system would only report it slowly *)
+  (if not shape.unsafe then
+     let members = List.init shape.replicas (fun i -> Fmt.str "r%d" i) in
+     match
+       Harness.Check.quorum_ok ~name:"majority" (Quorum.Config.majority members)
+     with
+     | Ok () -> ()
+     | Error e -> Fmt.epr "static quorum gate: %s@." e);
+  let run ~seed script = run_one shape ~seed script in
+  let failures =
+    Harness.Swarm.sweep ~run ~gen:(gen_for shape) ~seeds ~seed0 ~max_failures
+      ~progress:(fun ~seed ~failed ->
+        if failed then Fmt.pr "seed %d: VIOLATION@." seed)
+      ()
+  in
+  let minimized = List.map (Harness.Swarm.minimize ~run) failures in
+  let extra = extra_flags shape in
+  let report =
+    { Harness.Swarm.seeds; seed0; failures; minimized }
+  in
+  Fmt.pr "swept %d seeds from %d: %d failing@." seeds seed0
+    (List.length failures);
+  List.iter
+    (fun (m : Harness.Swarm.outcome) ->
+      Fmt.pr "@.seed %d minimized to %d step(s): %s@."
+        m.Harness.Swarm.seed
+        (List.length m.Harness.Swarm.script)
+        (Script.to_string m.Harness.Swarm.script);
+      List.iter (fun v -> Fmt.pr "  violation: %s@." v)
+        m.Harness.Swarm.violations;
+      Fmt.pr "  repro: %s@." (Harness.Swarm.repro_line ~extra m))
+    minimized;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Harness.Swarm.report_json ~extra report);
+      close_out oc;
+      Fmt.pr "report written to %s@." path);
+  if failures = [] then 0 else 1
+
+let repro shape seed script_str =
+  match Script.of_string script_str with
+  | Error e ->
+      Fmt.epr "cannot parse script: %s@." e;
+      2
+  | Ok script -> (
+      match Script.validate script with
+      | Error e ->
+          Fmt.epr "invalid script: %s@." e;
+          2
+      | Ok () ->
+          let violations = run_one shape ~seed script in
+          Fmt.pr "seed %d, script: %s@." seed (Script.to_string script);
+          if violations = [] then begin
+            Fmt.pr "audit clean — violation did not reproduce@.";
+            0
+          end
+          else begin
+            List.iter (fun v -> Fmt.pr "violation: %s@." v) violations;
+            1
+          end)
+
+(* ---------- CLI ---------- *)
+
+open Cmdliner
+
+let shape_term =
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Replica groups.")
+  in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replicas per shard.")
+  in
+  let clients = Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Clients.") in
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops" ] ~doc:"Operations per client.")
+  in
+  let unsafe =
+    Arg.(
+      value & flag
+      & info [ "unsafe" ]
+          ~doc:
+            "Run with non-intersecting read-1/write-1 quorums — the planted \
+             bug.  The audit must catch it; CI uses this as the canary that \
+             the swarm finds real violations.")
+  in
+  Term.(
+    const (fun shards replicas clients ops unsafe ->
+        { shards; replicas; clients; ops; unsafe })
+    $ shards $ replicas $ clients $ ops $ unsafe)
+
+let sweep_cmd =
+  let seeds =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~doc:"Seeds to sweep.")
+  in
+  let seed0 = Arg.(value & opt int 0 & info [ "seed0" ] ~doc:"First seed.") in
+  let max_failures =
+    Arg.(
+      value & opt int 10
+      & info [ "max-failures" ] ~doc:"Stop after this many failing seeds.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON report here.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep seeds through randomized fault scripts, audit every run, \
+          minimize failures (exit 1 on any violation).")
+    Term.(
+      const sweep $ shape_term $ seeds $ seed0 $ max_failures $ json)
+
+let repro_cmd =
+  let seed =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "seed" ] ~doc:"Seed of the failing run.")
+  in
+  let script =
+    Arg.(
+      value & opt string ""
+      & info [ "script" ] ~docv:"SCRIPT"
+          ~doc:"The fault script, in Harness.Script text form.")
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:
+         "Replay one (seed, script) pair and report audit violations (exit 1 \
+          when the violation reproduces).")
+    Term.(const repro $ shape_term $ seed $ script)
+
+let () =
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "swarm"
+             ~doc:
+               "Seed-swarm fuzzer for the simulated cluster: randomized \
+                fault schedules, consistency audit, failure minimization.")
+          [ sweep_cmd; repro_cmd ]))

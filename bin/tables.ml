@@ -175,18 +175,31 @@ let retry_table () =
 
 (* ---------- shard-balance ablation ---------- *)
 
-let shards_table () =
+let shards_table ?(seeds = 1) () =
   header
-    "Shard-balance ablation: Zipf s=1.1 keys over 1/2/4 range shards \
-     (majority-3 per shard, 80% reads), with the hot shard killed at t=500";
-  Fmt.pr "%-8s %-10s %-10s %-11s %-13s %-13s %-10s@." "shards" "replicas"
+    (if seeds = 1 then
+       "Shard-balance ablation: Zipf s=1.1 keys over 1/2/4 range shards \
+        (majority-3 per shard, 80% reads), with the hot shard killed at t=500"
+     else
+       Fmt.str
+         "Shard-balance ablation: Zipf s=1.1 keys over 1/2/4 range shards \
+          (majority-3 per shard, 80%% reads), with the hot shard killed at \
+          t=500 — availability cells min/mean over %d seeds"
+         seeds);
+  Fmt.pr "%-8s %-10s %-10s %-11s %-13s %-19s %-19s@." "shards" "replicas"
     "messages" "imbalance" "shard spread" "availability" "kill avail";
   List.iter
     (fun (r : Store.Experiments.shard_row) ->
-      Fmt.pr "%-8d %-10d %-10d %-11.2f %-13.2f %-13.3f %-10.3f@."
+      let cell min mean =
+        if seeds = 1 then Fmt.str "%.3f" mean
+        else Fmt.str "%.3f/%.3f" min mean
+      in
+      Fmt.pr "%-8d %-10d %-10d %-11.2f %-13.2f %-19s %-19s@."
         r.Store.Experiments.n_shards r.total_replicas r.messages
-        r.replica_imbalance r.shard_spread r.availability r.kill_availability)
-    (Store.Experiments.shard_table ());
+        r.replica_imbalance r.shard_spread
+        (cell r.min_availability r.availability)
+        (cell r.min_kill_availability r.kill_availability))
+    (Store.Experiments.shard_table ~seeds ());
   Fmt.pr
     "@.shape: per-key quorums make sharding correctness-free capacity — \
      messages stay flat while replicas multiply; range sharding concentrates \
@@ -565,7 +578,16 @@ let () =
       cmd_of "optimal" optimal_table "Optimal vote assignments";
       cmd_of "load" load_table "Broadcast vs targeted quorums (load/messages)";
       cmd_of "retry" retry_table "Retry/backoff/hedging policy ablation";
-      cmd_of "shards" shards_table "Shard-balance ablation (1/2/4 shards)";
+      Cmd.v
+        (Cmd.info "shards" ~doc:"Shard-balance ablation (1/2/4 shards)")
+        Term.(
+          const (fun seeds -> shards_table ~seeds ())
+          $ Arg.(
+              value & opt int 1
+              & info [ "seeds" ]
+                  ~doc:
+                    "Average the availability cells over $(docv) consecutive \
+                     seeds, reporting min/mean per cell."));
       cmd_of "batch" batch_table "Multi-key batching ablation";
       cmd_of "attribution" attribution_table_cmd
         "Latency-attribution ablation (loss x burst phase decomposition)";

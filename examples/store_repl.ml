@@ -33,6 +33,10 @@
                         units: op rate, read fraction, success rate,
                         p99 latency, apply-queue depth
      balance            per-replica load, per-shard totals and spread
+     nemesis SCRIPT     install a fault schedule (Harness.Script text
+                        form) relative to now, e.g.
+                        nemesis @10 crash r0; @40 recover r0
+     script             show every fault schedule installed so far
      lint               statically check every shard's quorum
                         configuration (intersection, minimality,
                         non-domination) without touching the simulation
@@ -68,6 +72,10 @@ type world = {
   storage : (float * float * bool) option;
       (* (write_cost, fsync_cost, group_commit) of every replica's
          device; [None] = synchronous installs (the default) *)
+  groups : string array array;
+  mutable nemesis : (float * Harness.Script.t) list;
+      (* fault schedules installed this session, oldest first, each
+         tagged with the virtual time it was installed at *)
 }
 
 (* Build a fresh world: [n_shards] disjoint replica groups of
@@ -140,7 +148,7 @@ let make_world ~n_shards ~scheme ~storage =
   in
   let health = Obs.Health.create ~window:200.0 ~n_shards ~queue_depth () in
   { sim; tracer; metrics; net; replicas; router; health; n_shards; scheme;
-    storage }
+    storage; groups; nemesis = [] }
 
 (* shards N [hash|range] — [Ok None] means "just show the layout" *)
 let parse_shards = function
@@ -258,8 +266,9 @@ let () =
               "put KEY INT | get KEY | crash NODE | recover NODE | cut A B | \
                heal A B | dump | policy [retries N | hedge D | off] | loss P | \
                shards [N [hash|range]] | batch [W | off] | window [adaptive | \
-               off] | storage [W F [naive|group] | off] | top | balance | \
-               lint | stats | metrics | trace FILE | quit@.";
+               off] | storage [W F [naive|group] | off] | nemesis SCRIPT | \
+               script | top | balance | lint | stats | metrics | trace FILE | \
+               quit@.";
             loop ()
         | [ "put"; key; v ] ->
             (match int_of_string_opt v with
@@ -458,6 +467,54 @@ let () =
             in
             Fmt.pr "total load %d | shard imbalance (max/mean) %.2f@." total
               imbalance;
+            loop ()
+        | "nemesis" :: rest ->
+            (let text = String.concat " " rest in
+             if String.trim text = "" then
+               Fmt.pr "usage: nemesis SCRIPT, e.g. nemesis @10 crash r0; @40 \
+                       recover r0@."
+             else
+               match Harness.Script.of_string text with
+               | Error e -> Fmt.pr "invalid script: %s@." e
+               | Ok script -> (
+                   match Harness.Script.validate script with
+                   | Error e -> Fmt.pr "invalid script: %s@." e
+                   | Ok () -> (
+                       let env =
+                         {
+                           Harness.Run.sim = !w.sim;
+                           net = !w.net;
+                           groups = !w.groups;
+                           clients = [ "client" ];
+                           seed = 7;
+                         }
+                       in
+                       (* shard references can still be out of range for
+                          this world's layout; install checks eagerly *)
+                       try
+                         ignore
+                           (Harness.Run.install env script
+                             : Sim.Failure.t list);
+                         !w.nemesis <-
+                           !w.nemesis @ [ (Core.now !w.sim, script) ];
+                         Fmt.pr
+                           "installed %d step(s) relative to t=%.1f: %a@."
+                           (List.length script) (Core.now !w.sim)
+                           Harness.Script.pp script
+                       with Invalid_argument e -> Fmt.pr "%s@." e)));
+            loop ()
+        | [ "script" ] ->
+            (match !w.nemesis with
+            | [] -> Fmt.pr "script: none installed@."
+            | installed ->
+                List.iter
+                  (fun (at, script) ->
+                    List.iter
+                      (fun step ->
+                        Fmt.pr "t=%.1f  %s@." at
+                          (Harness.Script.step_label step))
+                      script)
+                  installed);
             loop ()
         | [ "lint" ] ->
             (match lint_world !w with

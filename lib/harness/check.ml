@@ -1,0 +1,107 @@
+(** Reusable cluster-correctness predicates: the single-writer
+    consistency audit, static quorum-intersection checks, and
+    liveness-after-heal.
+
+    The audit is the oracle of every nemesis test and of the seed
+    swarm.  It exploits the single-writer-per-key discipline of the
+    workload: per key, completed writes carry strictly increasing
+    version numbers, and every successful read must return a version
+    at least as new as the newest write completed before the read
+    began, with the value actually written at that version.  Quorum
+    intersection is exactly what makes this hold across failures; a
+    configuration without intersection (or a protocol bug) fails the
+    audit.  The violation strings are part of the golden-digest
+    surface — they render into {!Store.Cluster.digest} — so their
+    wording is frozen. *)
+
+type entry = { vn : int; value : int; completed_at : float }
+
+(** Audit state: per-key completed-write history plus the violation
+    log (newest first, the historical order). *)
+type audit = {
+  completed_writes : (string, entry list) Hashtbl.t;
+  mutable violations : string list;
+}
+
+let audit () = { completed_writes = Hashtbl.create 64; violations = [] }
+
+let note a fmt = Fmt.kstr (fun s -> a.violations <- s :: a.violations) fmt
+
+(** Check one successful read: [started] is when the read was issued,
+    [vn]/[value] what it returned. *)
+let read_ok a ~key ~started ~vn ~value =
+  (* audit: newest write completed before we started *)
+  let prior =
+    List.filter
+      (fun e -> e.completed_at <= started)
+      (Option.value ~default:[] (Hashtbl.find_opt a.completed_writes key))
+  in
+  let newest = List.fold_left (fun m e -> max m e.vn) 0 prior in
+  if vn < newest then
+    note a "stale read of %s: returned vn %d < completed vn %d" key vn newest;
+  (* the value must be what was written at that vn *)
+  if vn > 0 then
+    match
+      List.find_opt
+        (fun e -> e.vn = vn)
+        (Option.value ~default:[] (Hashtbl.find_opt a.completed_writes key))
+    with
+    | Some e when e.value <> value ->
+        note a "corrupt read of %s: vn %d has %d, read %d" key vn e.value value
+    | _ -> ()
+
+(** Record one successful write completing at [now] with version [vn]
+    of [value]. *)
+let write_ok a ~key ~vn ~value ~now =
+  let prev =
+    Option.value ~default:[] (Hashtbl.find_opt a.completed_writes key)
+  in
+  (* single-writer-per-key: versions must increase *)
+  List.iter
+    (fun e ->
+      if e.vn >= vn then
+        note a "non-monotonic write to %s: vn %d after %d" key vn e.vn)
+    prev;
+  Hashtbl.replace a.completed_writes key
+    ({ vn; value; completed_at = now } :: prev)
+
+let violations a = a.violations
+
+(* ---------- static quorum sanity ---------- *)
+
+(** Does the configuration pass the static lint gate — legal
+    read/write intersection and a minimization that preserves it?
+    Swarm runs check this up front so a fuzzing campaign on a broken
+    configuration fails fast with a structural message rather than a
+    pile of stale reads. *)
+let quorum_ok ~name (config : Quorum.Config.t) : (unit, string) result =
+  let v = Lint.Quorum_check.check_config ~name config in
+  if not v.Lint.Quorum_check.legal_rw then
+    Error
+      (Fmt.str "%s: read/write quorums do not all intersect (R=%d, W=%d)" name
+         v.Lint.Quorum_check.n_read v.Lint.Quorum_check.n_write)
+  else if not v.Lint.Quorum_check.minimize_preserves then
+    Error (Fmt.str "%s: minimization does not preserve intersection" name)
+  else Ok ()
+
+(* ---------- liveness after heal ---------- *)
+
+(** After a script that provably settles ({!Script.quiesces_at}), the
+    cluster must make progress again: among operations completing
+    after the quiesce time, at least one must succeed.  [completions]
+    is the run's chronological [(finished_at, ok)] log.  Vacuously [Ok]
+    when the script never settles or nothing completes afterwards
+    (the workload may simply have finished first). *)
+let liveness_after_heal ~script ~completions : (unit, string) result =
+  match Script.quiesces_at script with
+  | None -> Ok ()
+  | Some t ->
+      let after = List.filter (fun (at, _) -> at > t) completions in
+      if after = [] then Ok ()
+      else if List.exists (fun (_, ok) -> ok) after then Ok ()
+      else
+        Error
+          (Fmt.str
+             "no operation succeeded after the script healed at %.12g (%d \
+              completions, all failed)"
+             t (List.length after))

@@ -1,0 +1,35 @@
+(** Reusable cluster-correctness predicates: the single-writer
+    consistency audit (the oracle of nemesis tests and the seed
+    swarm), static quorum-intersection checks, and
+    liveness-after-heal.  The audit's violation strings render into
+    {!Store.Cluster.digest}, so their wording is frozen. *)
+
+type audit
+(** Per-key completed-write history plus the violation log. *)
+
+val audit : unit -> audit
+
+val read_ok :
+  audit -> key:string -> started:float -> vn:int -> value:int -> unit
+(** Check one successful read issued at [started]: it must return a
+    version at least as new as the newest write completed before
+    [started], carrying the value written at that version. *)
+
+val write_ok : audit -> key:string -> vn:int -> value:int -> now:float -> unit
+(** Record one successful write completing at [now]; versions per key
+    must be strictly increasing (single-writer-per-key). *)
+
+val violations : audit -> string list
+(** Violations so far, newest first (the historical order). *)
+
+val quorum_ok : name:string -> Quorum.Config.t -> (unit, string) result
+(** Static gate: legal read/write intersection and
+    intersection-preserving minimization, via {!Lint.Quorum_check}. *)
+
+val liveness_after_heal :
+  script:Script.t -> completions:(float * bool) list -> (unit, string) result
+(** After a script that settles ({!Script.quiesces_at}), at least one
+    of the operations completing later must succeed.  [completions]
+    is the run's chronological [(finished_at, ok)] log.  Vacuously
+    [Ok] when the script never settles or nothing completes after the
+    heal. *)

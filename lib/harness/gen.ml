@@ -1,0 +1,74 @@
+(** Randomized script generation for the seed swarm.
+
+    Every draw comes from a {!Qc_util.Prng} generator, so one integer
+    seed fully determines the script — the property the fuzzer's
+    replayable repro lines rest on.  Generated scripts are built from
+    fault {e episodes}: a disruptive step paired with the restorative
+    step that undoes it, so every script settles
+    ({!Script.quiesces_at} is [Some _]) and the liveness predicate
+    applies on top of the audit. *)
+
+module Prng = Qc_util.Prng
+
+(** A random fault episode over [horizon]: returns the steps plus the
+    episode's end time. *)
+let episode rng ~groups ~clients ~horizon =
+  let replicas =
+    Array.to_list groups |> List.concat_map Array.to_list
+  in
+  let n_shards = Array.length groups in
+  let t0 = Prng.float rng *. horizon *. 0.8 in
+  let dur = (0.05 +. (Prng.float rng *. 0.25)) *. horizon in
+  let t1 = t0 +. dur in
+  let nodes = replicas @ clients in
+  match Prng.int rng 5 with
+  | 0 ->
+      (* random non-trivial bipartition of the replicas, healed later *)
+      let shuffled = Prng.shuffle rng replicas in
+      let k = 1 + Prng.int rng (List.length replicas - 1) in
+      let side_a = List.filteri (fun i _ -> i < k) shuffled in
+      let side_b = List.filteri (fun i _ -> i >= k) shuffled in
+      [ Script.At (t0, Script.Partition [ side_a; side_b ]);
+        Script.At (t1, Script.Heal) ]
+  | 1 ->
+      let node = Prng.choose rng replicas in
+      [ Script.At (t0, Script.Crash node);
+        Script.At (t1, Script.Recover node) ]
+  | 2 ->
+      let src = Prng.choose rng nodes in
+      let dst = Prng.choose rng (List.filter (( <> ) src) nodes) in
+      let spec =
+        match Prng.int rng 3 with
+        | 0 -> Script.Net.Drop_all
+        | 1 -> Script.Net.Drop_first (1 + Prng.int rng 8)
+        | _ -> Script.Net.Drop_prob (0.2 +. (Prng.float rng *. 0.7))
+      in
+      [ Script.At (t0, Script.Link_filter { src; dst; spec });
+        Script.At (t1, Script.Link_clear { src; dst }) ]
+  | 3 ->
+      let p = 0.05 +. (Prng.float rng *. 0.4) in
+      [ Script.At (t0, Script.Loss p); Script.At (t1, Script.Loss 0.0) ]
+  | _ ->
+      if n_shards < 2 then
+        (* pausing the only shard stalls everything; crash one node *)
+        let node = Prng.choose rng replicas in
+        [ Script.At (t0, Script.Crash node);
+          Script.At (t1, Script.Recover node) ]
+      else
+        let s = Prng.int rng n_shards in
+        [ Script.At (t0, Script.Pause_shard s);
+          Script.At (t1, Script.Resume_shard s) ]
+
+(** A random settling script: 1-4 episodes over [horizon], closed by a
+    final [Heal] after the last episode ends. *)
+let script rng ~groups ~clients ~horizon : Script.t =
+  let n = 1 + Prng.int rng 4 in
+  let episodes =
+    List.concat (List.init n (fun _ -> episode rng ~groups ~clients ~horizon))
+  in
+  let t_end =
+    List.fold_left
+      (fun m -> function Script.At (t, _) -> Float.max m t | _ -> m)
+      0.0 episodes
+  in
+  episodes @ [ Script.At (t_end +. 1.0, Script.Heal) ]

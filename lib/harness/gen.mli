@@ -1,0 +1,25 @@
+(** Randomized script generation for the seed swarm.  Every draw
+    comes from the given {!Qc_util.Prng} generator, so one integer
+    seed fully determines the script. *)
+
+module Prng = Qc_util.Prng
+
+val episode :
+  Prng.t ->
+  groups:string array array ->
+  clients:string list ->
+  horizon:float ->
+  Script.t
+(** One random fault episode (a disruptive step paired with the
+    restorative step that undoes it): a replica bipartition, a node
+    crash, a link filter, a lossy window, or a shard pause. *)
+
+val script :
+  Prng.t ->
+  groups:string array array ->
+  clients:string list ->
+  horizon:float ->
+  Script.t
+(** A random settling script: 1-4 episodes over [horizon] closed by a
+    final [Heal], so {!Script.quiesces_at} holds and liveness checks
+    apply on top of the audit. *)

@@ -15,15 +15,34 @@ module Prng = Qc_util.Prng
 type latency = Prng.t -> src:string -> dst:string -> float
 
 (** Why a message did not arrive. *)
-type drop_reason = Sender_down | Dest_down | Link_cut | Loss
+type drop_reason = Sender_down | Dest_down | Link_cut | Loss | Filtered
 
 let drop_reason_label = function
   | Sender_down -> "sender_down"
   | Dest_down -> "dest_down"
   | Link_cut -> "link_cut"
   | Loss -> "loss"
+  | Filtered -> "filtered"
 
 let pp_drop_reason ppf r = Fmt.string ppf (drop_reason_label r)
+
+(** A per-link fault filter: what a directed link does to the messages
+    crossing it.  [Drop_all] swallows everything (a one-way cut),
+    [Drop_first n] swallows the next [n] messages then passes the rest
+    (the classic "lose the prepare, deliver the retry" scenario), and
+    [Drop_prob p] flips a per-message coin on the simulation's PRNG. *)
+type drop_spec = Drop_all | Drop_first of int | Drop_prob of float
+
+let drop_spec_label = function
+  | Drop_all -> "all"
+  | Drop_first n -> Fmt.str "first:%d" n
+  | Drop_prob p -> Fmt.str "prob:%.12g" p
+
+type link_filter = {
+  spec : drop_spec;
+  mutable remaining : int;  (** for [Drop_first]: drops left to spend *)
+  mutable filter_dropped : int;  (** messages this filter swallowed *)
+}
 
 type 'msg t = {
   sim : Core.t;
@@ -32,6 +51,7 @@ type 'msg t = {
   handlers : (string, src:string -> 'msg -> unit) Hashtbl.t;
   up : (string, bool) Hashtbl.t;
   cut_links : (string * string, bool) Hashtbl.t;
+  filters : (string * string, link_filter) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
   mutable payload_sent : int;
@@ -40,6 +60,7 @@ type 'msg t = {
   mutable drop_dest_down : int;
   mutable drop_link_cut : int;
   mutable drop_loss : int;
+  mutable drop_filtered : int;
 }
 
 (** Uniform latency on [lo, hi]. *)
@@ -60,6 +81,7 @@ let create ~(sim : Core.t) ~nodes ?(latency = uniform_latency ~lo:1.0 ~hi:5.0)
       handlers = Hashtbl.create 16;
       up = Hashtbl.create 16;
       cut_links = Hashtbl.create 16;
+      filters = Hashtbl.create 16;
       sent = 0;
       delivered = 0;
       payload_sent = 0;
@@ -68,6 +90,7 @@ let create ~(sim : Core.t) ~nodes ?(latency = uniform_latency ~lo:1.0 ~hi:5.0)
       drop_dest_down = 0;
       drop_link_cut = 0;
       drop_loss = 0;
+      drop_filtered = 0;
     }
   in
   List.iter (fun n -> Hashtbl.replace t.up n true) nodes;
@@ -103,12 +126,56 @@ let heal_link t a b =
 
 let link_cut t a b = Hashtbl.mem t.cut_links (a, b)
 
+let heal_all_links t = Hashtbl.reset t.cut_links
+
+(** Install a fault filter on the directed link [src -> dst],
+    replacing any previous one (and its drop counter). *)
+let set_link_filter t ~src ~dst spec =
+  let remaining = match spec with Drop_first n -> n | _ -> 0 in
+  Hashtbl.replace t.filters (src, dst) { spec; remaining; filter_dropped = 0 }
+
+let clear_link_filter t ~src ~dst = Hashtbl.remove t.filters (src, dst)
+let clear_link_filters t = Hashtbl.reset t.filters
+
+let link_filter t ~src ~dst =
+  Option.map (fun f -> f.spec) (Hashtbl.find_opt t.filters (src, dst))
+
+let link_filter_drops t ~src ~dst =
+  match Hashtbl.find_opt t.filters (src, dst) with
+  | Some f -> f.filter_dropped
+  | None -> 0
+
+(* canonical order at the Hashtbl boundary, like the rest of the repo *)
+let filtered_links t =
+  (* lint: order-insensitive *)
+  Hashtbl.fold
+    (fun (src, dst) f acc -> ((src, dst), f.spec, f.filter_dropped) :: acc)
+    t.filters []
+  |> List.sort (fun ((a, b), _, _) ((c, d), _, _) ->
+         match String.compare a c with 0 -> String.compare b d | n -> n)
+
+(* Does the filter swallow this message?  [Drop_prob] draws from the
+   simulation PRNG — one extra draw per filtered-link message, none on
+   unfiltered links, so filter-free runs keep their historical PRNG
+   stream. *)
+let filter_fires t f =
+  match f.spec with
+  | Drop_all -> true
+  | Drop_first _ ->
+      if f.remaining > 0 then begin
+        f.remaining <- f.remaining - 1;
+        true
+      end
+      else false
+  | Drop_prob p -> Prng.float (Core.rng t.sim) < p
+
 let drop t ~src ~dst reason =
   (match reason with
   | Sender_down -> t.drop_sender_down <- t.drop_sender_down + 1
   | Dest_down -> t.drop_dest_down <- t.drop_dest_down + 1
   | Link_cut -> t.drop_link_cut <- t.drop_link_cut + 1
-  | Loss -> t.drop_loss <- t.drop_loss + 1);
+  | Loss -> t.drop_loss <- t.drop_loss + 1
+  | Filtered -> t.drop_filtered <- t.drop_filtered + 1);
   let tr = tracer t in
   if Obs.Trace.enabled tr then
     Obs.Trace.instant tr ~cat:"net" ~name:"drop" ~track:dst
@@ -134,9 +201,17 @@ let send t ~src ~dst ?(payloads = 1) (msg : 'msg) =
       ~args:[ ("dst", Obs.Trace.Str dst) ]
       ();
   (* reason checks in the original short-circuit order, so the PRNG
-     draws exactly when it always did *)
+     draws exactly when it always did; the link filter slots in after
+     the cut check and touches the PRNG only on filtered links *)
   if not (is_up t src) then drop t ~src ~dst Sender_down
   else if link_cut t src dst then drop t ~src ~dst Link_cut
+  else if
+    match Hashtbl.find_opt t.filters (src, dst) with
+    | Some f when filter_fires t f ->
+        f.filter_dropped <- f.filter_dropped + 1;
+        true
+    | _ -> false
+  then drop t ~src ~dst Filtered
   else if Prng.float rng < t.loss then drop t ~src ~dst Loss
   else
     let delay = t.latency rng ~src ~dst in
@@ -170,6 +245,7 @@ type counters = {
   drop_dest_down : int;
   drop_link_cut : int;
   drop_loss : int;
+  drop_filtered : int;
 }
 
 let counters (t : 'msg t) =
@@ -179,11 +255,13 @@ let counters (t : 'msg t) =
     payload_sent = t.payload_sent;
     payload_delivered = t.payload_delivered;
     dropped =
-      t.drop_sender_down + t.drop_dest_down + t.drop_link_cut + t.drop_loss;
+      t.drop_sender_down + t.drop_dest_down + t.drop_link_cut + t.drop_loss
+      + t.drop_filtered;
     drop_sender_down = t.drop_sender_down;
     drop_dest_down = t.drop_dest_down;
     drop_link_cut = t.drop_link_cut;
     drop_loss = t.drop_loss;
+    drop_filtered = t.drop_filtered;
   }
 
 let drop_breakdown (c : counters) =
@@ -192,4 +270,5 @@ let drop_breakdown (c : counters) =
     (Dest_down, c.drop_dest_down);
     (Link_cut, c.drop_link_cut);
     (Loss, c.drop_loss);
+    (Filtered, c.drop_filtered);
   ]

@@ -8,10 +8,17 @@ module Prng = Qc_util.Prng
 
 type latency = Prng.t -> src:string -> dst:string -> float
 
-type drop_reason = Sender_down | Dest_down | Link_cut | Loss
+type drop_reason = Sender_down | Dest_down | Link_cut | Loss | Filtered
 
 val drop_reason_label : drop_reason -> string
 val pp_drop_reason : drop_reason Fmt.t
+
+type drop_spec = Drop_all | Drop_first of int | Drop_prob of float
+(** What a per-link fault filter does to messages crossing the link:
+    swallow everything, swallow the next [n], or flip a per-message
+    coin on the simulation PRNG. *)
+
+val drop_spec_label : drop_spec -> string
 
 type 'msg t
 
@@ -40,6 +47,27 @@ val cut_link : 'msg t -> string -> string -> unit
 val heal_link : 'msg t -> string -> string -> unit
 val link_cut : 'msg t -> string -> string -> bool
 
+val heal_all_links : 'msg t -> unit
+(** Remove every link cut (filters are separate — see
+    {!clear_link_filters}). *)
+
+val set_link_filter : 'msg t -> src:string -> dst:string -> drop_spec -> unit
+(** Install a fault filter on the directed link [src -> dst],
+    replacing any previous one (and resetting its drop counter).
+    Filters act after cut checks and before the loss coin, so a
+    filtered link consumes no loss draws for the messages it
+    swallows. *)
+
+val clear_link_filter : 'msg t -> src:string -> dst:string -> unit
+val clear_link_filters : 'msg t -> unit
+
+val link_filter : 'msg t -> src:string -> dst:string -> drop_spec option
+val link_filter_drops : 'msg t -> src:string -> dst:string -> int
+(** Messages swallowed by the link's current filter (0 without one). *)
+
+val filtered_links : 'msg t -> ((string * string) * drop_spec * int) list
+(** Every installed filter with its drop counter, sorted by link. *)
+
 val send :
   'msg t -> src:string -> dst:string -> ?payloads:int -> 'msg -> unit
 (** Dropped when the sender is down at send time, the destination is
@@ -60,6 +88,7 @@ type counters = {
   drop_dest_down : int;
   drop_link_cut : int;
   drop_loss : int;
+  drop_filtered : int;
 }
 
 val counters : 'msg t -> counters

@@ -11,7 +11,16 @@
     failures; a configuration without intersection (or a protocol bug)
     fails the audit.  Sharding does not weaken it: quorums intersect
     per key inside the key's own replica group, so the audit runs
-    unchanged over any shard count.
+    unchanged over any shard count.  The audit state machine itself
+    lives in {!Harness.Check} so nemesis tests and the seed swarm
+    share it.
+
+    Fault injection goes through the {!Harness.Script} DSL: the
+    [failures]/[partitions]/[shard_kill] params are thin legacy
+    constructors compiled onto the script ({!Harness.Script.of_legacy})
+    and interpreted by {!Harness.Run} — byte-identically to the old
+    inline nemesis code — and [script] appends arbitrary scripted
+    steps on top.
 
     Each client is a {!Router} over [n_shards] replica groups of
     [n_replicas] each.  The defaults — one shard, no batching, burst 1
@@ -81,6 +90,11 @@ type params = {
       (** attach an [Obs.Health] monitor with this rolling window and
           sample it every half-window while the workload runs; [None]
           (default) attaches nothing and schedules nothing *)
+  script : Harness.Script.t;
+      (** scripted fault schedule installed on top of the legacy
+          nemesis knobs (which compile onto the same interpreter);
+          times are relative to the run start.  [[]] (default) adds
+          nothing — byte-identical runs *)
 }
 
 let default_params =
@@ -109,13 +123,8 @@ let default_params =
     adaptive_window = None;
     trace_ctx = false;
     health_window = None;
+    script = [];
   }
-
-type audit_entry = {
-  vn : int;
-  value : int;
-  completed_at : float;
-}
 
 type shard_stat = {
   shard : int;
@@ -151,6 +160,11 @@ type results = {
   health : Obs.Health.snapshot list;
       (** every health sample taken during the run, chronological —
           empty unless [health_window] was set *)
+  completions : (float * bool) list;
+      (** chronological [(finished_at, ok)] of every completed
+          operation — the input of
+          {!Harness.Check.liveness_after_heal}; not part of the digest
+          (it is derivable from the traced run) *)
 }
 
 let availability r =
@@ -181,7 +195,6 @@ let run (p : params) : results =
   let replica_names =
     Array.to_list group_names |> List.concat_map Array.to_list
   in
-  let n_total_replicas = p.n_shards * p.n_replicas in
   let client_names = List.init p.n_clients (fun i -> Fmt.str "c%d" i) in
   let net =
     Net.create ~sim ~nodes:(replica_names @ client_names) ~latency:p.latency
@@ -249,12 +262,10 @@ let run (p : params) : results =
   in
   let shard_ok = Array.make p.n_shards 0 in
   let shard_failed = Array.make p.n_shards 0 in
-  (* audit state *)
-  let completed_writes : (string, audit_entry list) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  let violations = ref [] in
-  let note fmt = Fmt.kstr (fun s -> violations := s :: !violations) fmt in
+  (* audit state (the shared single-writer state machine) plus the
+     completion log liveness predicates consume *)
+  let audit = Harness.Check.audit () in
+  let completions = ref [] in
   let z = Workload.zipf ~n:p.workload.Workload.n_keys ~s:p.workload.Workload.zipf_s in
   let clients =
     List.mapi
@@ -283,34 +294,13 @@ let run (p : params) : results =
           incr ok_reads;
           shard_ok.(s) <- shard_ok.(s) + 1;
           Sim.Stats.add read_lat latency;
-          (* audit: newest write completed before we started *)
-          let prior =
-            List.filter
-              (fun e -> e.completed_at <= started)
-              (Option.value ~default:[]
-                 (Hashtbl.find_opt completed_writes key))
-          in
-          let newest = List.fold_left (fun m e -> max m e.vn) 0 prior in
-          if vn < newest then
-            note "stale read of %s: returned vn %d < completed vn %d" key vn
-              newest;
-          (* the value must be what was written at that vn *)
-          if vn > 0 then
-            match
-              List.find_opt
-                (fun e -> e.vn = vn)
-                (Option.value ~default:[]
-                   (Hashtbl.find_opt completed_writes key))
-            with
-            | Some e when e.value <> value ->
-                note "corrupt read of %s: vn %d has %d, read %d" key vn e.value
-                  value
-            | _ -> ()
+          Harness.Check.read_ok audit ~key ~started ~vn ~value
         end
         else begin
           incr failed_reads;
           shard_failed.(s) <- shard_failed.(s) + 1
         end;
+        completions := (Core.now sim, ok) :: !completions;
         k ())
   in
   let run_write (c : Router.t) key v ~k =
@@ -321,22 +311,13 @@ let run (p : params) : results =
           incr ok_writes;
           shard_ok.(s) <- shard_ok.(s) + 1;
           Sim.Stats.add write_lat latency;
-          let prev =
-            Option.value ~default:[] (Hashtbl.find_opt completed_writes key)
-          in
-          (* single-writer-per-key: versions must increase *)
-          List.iter
-            (fun e ->
-              if e.vn >= vn then
-                note "non-monotonic write to %s: vn %d after %d" key vn e.vn)
-            prev;
-          Hashtbl.replace completed_writes key
-            ({ vn; value = v; completed_at = Core.now sim } :: prev)
+          Harness.Check.write_ok audit ~key ~vn ~value:v ~now:(Core.now sim)
         end
         else begin
           incr failed_writes;
           shard_failed.(s) <- shard_failed.(s) + 1
         end;
+        completions := (Core.now sim, ok) :: !completions;
         k ())
   in
   (* closed-loop driver per client: think, then issue [burst]
@@ -410,75 +391,29 @@ let run (p : params) : results =
       in
       if total > 0 then tick ()
   | None -> ());
-  (* failure injection *)
-  (match p.failures with
-  | Some spec ->
-      List.iter
-        (fun node -> Sim.Failure.attach ~sim ~net ~node ~spec ~until:1e9 ())
-        replica_names
-  | None -> ());
-  (* partition nemesis *)
-  (match p.partitions with
-  | Some mean ->
-      let nrng = Prng.create (p.seed lxor 0x9a97) in
-      let cut_between side_a side_b =
-        List.iter
-          (fun a -> List.iter (fun b -> Net.cut_link net a b) side_b)
-          side_a
-      in
-      let heal_between side_a side_b =
-        List.iter
-          (fun a -> List.iter (fun b -> Net.heal_link net a b) side_b)
-          side_a
-      in
-      (* bounded cycles so the event queue eventually drains (the
-         workload finishes long before) *)
-      let rec nemesis cycles =
-        if cycles > 0 then
-        Core.schedule sim ~delay:(Prng.exponential nrng ~mean) (fun () ->
-            (* random non-trivial bipartition of the replicas *)
-            let shuffled = Prng.shuffle nrng replica_names in
-            let k = 1 + Prng.int nrng (n_total_replicas - 1) in
-            let side_a = List.filteri (fun i _ -> i < k) shuffled in
-            let side_b = List.filteri (fun i _ -> i >= k) shuffled in
-            (* clients land on a random side *)
-            let client_side, other_side =
-              if Prng.bool nrng then (side_a, side_b) else (side_b, side_a)
-            in
-            ignore client_side;
-            if Obs.Trace.enabled tracer then
-              Obs.Trace.instant tracer ~cat:"store" ~name:"nemesis.partition"
-                ~track:"nemesis"
-                ~args:
-                  [
-                    ("side_a", Obs.Trace.Str (String.concat "," side_a));
-                    ("side_b", Obs.Trace.Str (String.concat "," side_b));
-                  ]
-                ();
-            cut_between side_a side_b;
-            List.iter (fun c -> cut_between [ c ] other_side) client_names;
-            Core.schedule sim ~delay:(mean /. 2.0) (fun () ->
-                if Obs.Trace.enabled tracer then
-                  Obs.Trace.instant tracer ~cat:"store" ~name:"nemesis.heal"
-                    ~track:"nemesis" ();
-                heal_between side_a side_b;
-                List.iter (fun c -> heal_between [ c ] other_side) client_names;
-                nemesis (cycles - 1)))
-      in
-      nemesis 64
-  | None -> ());
-  (* targeted shard-kill nemesis *)
+  (* fault injection: the legacy knobs compile onto the script DSL (in
+     the order the inline nemesis code installed them — failures,
+     partitions, shard kill — which byte-identical replay depends on)
+     and any extra scripted steps ride on top *)
   (match p.shard_kill with
-  | Some (s, at) when s >= 0 && s < p.n_shards ->
-      Core.schedule sim ~delay:at (fun () ->
-          if Obs.Trace.enabled tracer then
-            Obs.Trace.instant tracer ~cat:"store" ~name:"nemesis.shard_kill"
-              ~track:"nemesis"
-              ~args:[ ("shard", Obs.Trace.Int s) ]
-              ();
-          Array.iter (fun r -> Net.crash net r) group_names.(s))
-  | Some (s, _) -> invalid_arg (Fmt.str "Cluster.run: shard_kill shard %d out of range" s)
-  | None -> ());
+  | Some (s, _) when s < 0 || s >= p.n_shards ->
+      invalid_arg (Fmt.str "Cluster.run: shard_kill shard %d out of range" s)
+  | _ -> ());
+  let env =
+    {
+      Harness.Run.sim;
+      net;
+      groups = group_names;
+      clients = client_names;
+      seed = p.seed;
+    }
+  in
+  let script =
+    Harness.Script.of_legacy ?failures:p.failures ?partitions:p.partitions
+      ?shard_kill:p.shard_kill ()
+    @ p.script
+  in
+  ignore (Harness.Run.install env script : Sim.Failure.t list);
   Core.run sim;
   let shard_stats =
     List.init p.n_shards (fun s ->
@@ -505,7 +440,7 @@ let run (p : params) : results =
       Array.to_list replicas |> List.concat_map Array.to_list
       |> List.map (fun (r : Replica.t) -> (r.Replica.name, Replica.load r));
     shards = shard_stats;
-    audit_violations = !violations;
+    audit_violations = Harness.Check.violations audit;
     duration = Core.now sim;
     installs =
       Array.to_list replicas |> List.concat_map Array.to_list
@@ -518,6 +453,7 @@ let run (p : params) : results =
     trace = tracer;
     metrics;
     health = List.rev !health_samples;
+    completions = List.rev !completions;
   }
 
 (** A stable digest of the run's simulation outcome — every

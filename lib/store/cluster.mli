@@ -2,7 +2,11 @@
     failure injectors — running a workload, with metrics and a
     consistency audit (single-writer-per-key: reads must return a
     version at least as new as the newest write completed before the
-    read began, with the value written at that version). *)
+    read began, with the value written at that version; the state
+    machine is {!Harness.Check}).  Fault injection goes through the
+    {!Harness.Script} DSL: the legacy [failures]/[partitions]/
+    [shard_kill] knobs compile onto it byte-identically, and [script]
+    appends arbitrary scripted steps. *)
 
 module Prng = Qc_util.Prng
 module Core = Sim.Core
@@ -62,6 +66,10 @@ type params = {
       (** attach an [Obs.Health] monitor with this rolling window,
           sampled every half-window while the workload runs ([None] =
           none, the historical behaviour) *)
+  script : Harness.Script.t;
+      (** scripted fault schedule installed on top of the legacy
+          nemesis knobs; times relative to the run start ([[]] =
+          nothing, byte-identical runs) *)
 }
 
 val default_params : params
@@ -97,6 +105,9 @@ type results = {
   health : Obs.Health.snapshot list;
       (** every health sample taken during the run, chronological —
           empty unless [health_window] was set *)
+  completions : (float * bool) list;
+      (** chronological [(finished_at, ok)] per completed operation —
+          feed to {!Harness.Check.liveness_after_heal}; not digested *)
 }
 
 val availability : results -> float

@@ -344,9 +344,11 @@ let read_repair_experiment ?(seed = 61) () : repair_row list =
     (* failure-heavy write phase until t=800 *)
     List.iter
       (fun node ->
-        Sim.Failure.attach ~sim ~net ~node
-          ~spec:{ Sim.Failure.mtbf = 200.0; mttr = 100.0 }
-          ~until:800.0 ())
+        ignore
+          (Sim.Failure.attach ~sim ~net ~node
+             ~spec:{ Sim.Failure.mtbf = 200.0; mttr = 100.0 }
+             ~until:800.0 ()
+            : Sim.Failure.t))
       replica_names;
     (* write phase strictly bounded to t < 700 so that no late write
        (broadcast to all replicas) masks the staleness left behind *)
@@ -575,14 +577,19 @@ let retry_policy_table ?(seed = 77) () : retry_row list =
         Rpc.Policy.with_hedge ~base:(Rpc.Policy.with_retries 2) 12.0 );
     ]
   in
+  (* the partition condition is the legacy storm expressed as a
+     harness script — identical code path, identical numbers *)
   let conditions =
-    [ ("loss 30%", 0.3, None); ("partitions", 0.0, Some 150.0) ]
+    [
+      ("loss 30%", 0.3, []);
+      ("partitions", 0.0, Harness.Script.of_partitions 150.0);
+    ]
   in
   let n_clients = 4 in
   List.concat_map
     (fun (policy_name, policy) ->
       List.map
-        (fun (condition, loss, partitions) ->
+        (fun (condition, loss, script) ->
           let r =
             Cluster.run
               {
@@ -590,7 +597,7 @@ let retry_policy_table ?(seed = 77) () : retry_row list =
                 targeting = `Quorum;
                 policy;
                 loss;
-                partitions;
+                script;
                 n_clients;
                 workload =
                   {
@@ -654,14 +661,24 @@ type shard_row = {
   shard_spread : float;
       (** max shard load / mean shard load — how unevenly the key skew
           lands on shards (1 shard: 1.0 by definition) *)
-  availability : float;
+  availability : float;  (** mean over the seeds *)
+  min_availability : float;
+      (** worst seed — equals [availability] with one seed *)
   kill_availability : float;
       (** availability of the same run with the hottest shard crashed
-          at t=500 — the targeted-failure blast radius *)
+          at t=500 — the targeted-failure blast radius (mean over the
+          seeds) *)
+  min_kill_availability : float;  (** worst seed *)
 }
 
-let shard_table ?(seed = 91) () : shard_row list =
-  let mk n_shards shard_kill =
+(** The sharding ablation.  [seeds] (default 1) averages the
+    availability cells over [seed .. seed + seeds - 1], reporting
+    min/mean per cell; the load/message columns come from the base
+    seed's run, so a single-seed table is unchanged.  The shard kill
+    is the legacy nemesis expressed as a harness script. *)
+let shard_table ?(seed = 91) ?(seeds = 1) () : shard_row list =
+  if seeds < 1 then invalid_arg "Experiments.shard_table: seeds must be >= 1";
+  let mk n_shards seed script =
     Cluster.run
       {
         Cluster.default_params with
@@ -677,14 +694,30 @@ let shard_table ?(seed = 91) () : shard_row list =
             read_fraction = 0.8;
           };
         seed;
-        shard_kill;
+        script;
       }
+  in
+  let seed_list = List.init seeds (fun i -> seed + i) in
+  let min_mean xs =
+    ( List.fold_left Float.min infinity xs,
+      List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) )
   in
   List.map
     (fun n_shards ->
-      let r = mk n_shards None in
+      let runs = List.map (fun s -> mk n_shards s []) seed_list in
       (* range sharding puts the hot low ranks in shard 0 *)
-      let rk = mk n_shards (Some (0, 500.0)) in
+      let kill_runs =
+        List.map
+          (fun s -> mk n_shards s (Harness.Script.of_shard_kill (0, 500.0)))
+          seed_list
+      in
+      let r = List.hd runs in
+      let min_avail, mean_avail =
+        min_mean (List.map Cluster.availability runs)
+      in
+      let min_kill, mean_kill =
+        min_mean (List.map Cluster.availability kill_runs)
+      in
       let loads = List.map snd r.Cluster.replica_loads in
       let n_total = List.length loads in
       let total = List.fold_left ( + ) 0 loads in
@@ -706,8 +739,10 @@ let shard_table ?(seed = 91) () : shard_row list =
           (if mean > 0.0 then float_of_int hi /. mean else nan);
         shard_spread =
           (if smean > 0.0 then float_of_int shi /. smean else nan);
-        availability = Cluster.availability r;
-        kill_availability = Cluster.availability rk;
+        availability = mean_avail;
+        min_availability = min_avail;
+        kill_availability = mean_kill;
+        min_kill_availability = min_kill;
       })
     [ 1; 2; 4 ]
 

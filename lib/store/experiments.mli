@@ -132,15 +132,21 @@ type shard_row = {
       (** max replica load / mean replica load (1.0 = flat) *)
   shard_spread : float;
       (** max shard load / mean shard load (1 shard: 1.0) *)
-  availability : float;
+  availability : float;  (** mean over the seeds *)
+  min_availability : float;  (** worst seed (= mean with one seed) *)
   kill_availability : float;
-      (** availability with the hottest shard crashed at t=500 *)
+      (** availability with the hottest shard crashed at t=500 (a
+          {!Harness.Script.of_shard_kill} script), mean over the seeds *)
+  min_kill_availability : float;  (** worst seed *)
 }
 
-val shard_table : ?seed:int -> unit -> shard_row list
+val shard_table : ?seed:int -> ?seeds:int -> unit -> shard_row list
 (** Ablation: a Zipf-skewed workload over 1/2/4 range shards (3
     replicas each) — load spread across replicas and shards, and the
-    blast radius of killing the hot shard mid-run. *)
+    blast radius of killing the hot shard mid-run.  [seeds] (default
+    1) averages the availability cells over consecutive seeds,
+    reporting min and mean; load/message columns come from the base
+    seed. *)
 
 type batch_row = {
   zipf_label : string;

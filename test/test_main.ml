@@ -4,4 +4,5 @@ let () =
    @ Test_quorum.suites @ Test_recon.suites @ Test_cc.suites
    @ Test_sim.suites @ Test_store.suites @ Test_adt.suites @ Test_vp.suites
    @ Test_obs.suites @ Test_rpc.suites @ Test_shard.suites
-   @ Test_pipeline.suites @ Test_attr.suites @ Test_lint.suites)
+   @ Test_pipeline.suites @ Test_attr.suites @ Test_lint.suites
+   @ Test_harness.suites)

@@ -340,7 +340,9 @@ let prop_nemesis_partitions_with_retries_audit_clean =
             Store.Cluster.default_params with
             targeting = `Quorum;
             policy = Policy.with_hedge ~base:(Policy.with_retries 2) 12.0;
-            partitions = Some 150.0;
+            (* the partition storm as a harness script — compiles onto
+               the identical legacy code path (same PRNG, same digest) *)
+            script = Harness.Script.of_partitions 150.0;
             workload =
               { Store.Workload.default_spec with ops_per_client = 60; read_fraction = 0.5 };
             seed;

@@ -206,7 +206,9 @@ let prop_sharded_batched_partitions_audit_clean =
             targeting = `Quorum;
             policy =
               Rpc.Policy.with_hedge ~base:(Rpc.Policy.with_retries 2) 12.0;
-            partitions = Some 150.0;
+            (* the partition storm as a harness script — compiles onto
+               the identical legacy code path (same PRNG, same digest) *)
+            script = Harness.Script.of_partitions 150.0;
             workload =
               {
                 Store.Workload.default_spec with

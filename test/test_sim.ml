@@ -155,7 +155,7 @@ let test_failure_availability () =
   let spec = { Sim.Failure.mtbf = 90.0; mttr = 10.0 } in
   Alcotest.(check (float 0.001)) "analytic availability" 0.9
     (Sim.Failure.availability spec);
-  Sim.Failure.attach ~sim ~net ~node:"n" ~spec ~until:100_000.0 ();
+  let inj = Sim.Failure.attach ~sim ~net ~node:"n" ~spec ~until:100_000.0 () in
   let up_samples = ref 0 and samples = 1000 in
   let rec sample i =
     if i < samples then
@@ -169,7 +169,13 @@ let test_failure_availability () =
   Alcotest.(check bool)
     (Fmt.str "measured availability %.3f close to 0.9" frac)
     true
-    (abs_float (frac -. 0.9) < 0.05)
+    (abs_float (frac -. 0.9) < 0.05);
+  (* the injector handle's own accounting must agree *)
+  let inj_frac = Sim.Failure.up_fraction inj ~now:(Sim.Core.now sim) in
+  Alcotest.(check bool)
+    (Fmt.str "injector up-fraction %.3f close to 0.9" inj_frac)
+    true
+    (abs_float (inj_frac -. 0.9) < 0.05)
 
 (* ---------- stats ---------- *)
 
