@@ -495,6 +495,114 @@ let vp_table () =
   Fmt.pr "stale reads: %d; minority-side view refused: %b@." c.stale_reads
     c.minority_view_refused
 
+(* ---------- cross-shard commit ablation: 2PC vs Paxos Commit ---------- *)
+
+(* the pinned coordinator-kill schedule of test/test_txn.ml: two
+   client-coordinators die inside the commit window and recover only
+   near the end of the run, after which the network heals *)
+let txn_kill_script =
+  Harness.Script.
+    [
+      At (30.0, Crash "c0");
+      At (55.0, Crash "c1");
+      At (700.0, Recover "c0");
+      At (700.0, Recover "c1");
+      At (701.0, Heal);
+    ]
+
+let txn_run mode seed =
+  Store.Cluster.run
+    {
+      Store.Cluster.default_params with
+      n_replicas = 3;
+      n_clients = 3;
+      n_shards = 3;
+      seed;
+      script = txn_kill_script;
+      workload =
+        { Store.Workload.default_spec with n_keys = 24; think_time = 4.0 };
+      txns =
+        Some
+          {
+            Store.Cluster.default_txn_spec with
+            commit_mode = mode;
+            txns_per_client = 12;
+          };
+    }
+
+let txn_table_check ?(seeds = 8) () =
+  header
+    (Fmt.str
+       "TXN: coordinator-kill ablation — blocking 2PC vs Paxos Commit \
+        (3 shards x majority-3, 3 clients, 2 coordinators killed in the \
+        commit window, healed at t=701; %d seeds per mode)"
+       seeds);
+  Fmt.pr "%-8s %-6s %-8s %-8s %-9s %-9s %-10s %-7s %-9s@." "mode" "seed"
+    "acked" "failed" "decided" "blocked" "lat mean" "audit" "liveness";
+  let totals =
+    List.map
+      (fun mode ->
+        let blocked = ref 0 and dirty = ref 0 and dead = ref 0 in
+        let acked = ref 0 in
+        for seed = 1 to seeds do
+          let r = txn_run mode seed in
+          let live =
+            Harness.Check.liveness_after_heal ~script:txn_kill_script
+              ~completions:r.Store.Cluster.completions
+            = Ok ()
+          in
+          blocked := !blocked + List.length r.Store.Cluster.blocked_txns;
+          dirty := !dirty + List.length r.Store.Cluster.audit_violations;
+          acked := !acked + r.Store.Cluster.ok_txns;
+          if not live then incr dead;
+          Fmt.pr "%-8s %-6d %-8d %-8d %-9d %-9d %-10.2f %-7s %-9s@."
+            (Store.Txn.mode_label mode)
+            seed r.Store.Cluster.ok_txns r.Store.Cluster.failed_txns
+            r.Store.Cluster.decided_txns
+            (List.length r.Store.Cluster.blocked_txns)
+            r.Store.Cluster.txn_latency.Sim.Stats.mean
+            (if r.Store.Cluster.audit_violations = [] then "clean"
+             else "DIRTY")
+            (if live then "live" else "STUCK")
+        done;
+        (mode, !blocked, !dirty, !dead, !acked))
+      [ `Two_phase; `Paxos ]
+  in
+  Fmt.pr "@.";
+  List.iter
+    (fun (mode, blocked, dirty, dead, acked) ->
+      Fmt.pr
+        "%-8s TOTAL: %d acked, %d blocked txn(s), %d audit violation(s), %d \
+         stuck run(s)@."
+        (Store.Txn.mode_label mode)
+        acked blocked dirty dead)
+    totals;
+  let find m =
+    List.find (fun (mode, _, _, _, _) -> mode = m) totals
+  in
+  let _, b2, d2, _, _ = find `Two_phase in
+  let _, bp, dp, deadp, _ = find `Paxos in
+  Fmt.pr
+    "@.shape: the kill lands between prepare and decision, so 2PC \
+     participants stay prepared-but-undecided — locked and in doubt — until \
+     the coordinator returns (here: never inside the measurement window); \
+     Paxos Commit lets the prepared replicas elect a recovery leader over \
+     the same decision register and finish the commit, so nothing stays \
+     blocked once the partition heals, at no cost to the audit.@.";
+  Fmt.pr "@.gate: 2pc blocked > 0: %b; paxos blocked = 0: %b; audits clean: \
+          %b; paxos live after heal: %b@."
+    (b2 > 0) (bp = 0)
+    (d2 = 0 && dp = 0)
+    (deadp = 0);
+  b2 > 0 && bp = 0 && d2 = 0 && dp = 0 && deadp = 0
+
+let txn_table_cmd seeds =
+  if not (txn_table_check ~seeds ()) then (
+    Fmt.epr
+      "txn ablation gate FAILED: expected 2pc blocked > 0, paxos blocked = \
+       0, clean audits, paxos liveness after heal@.";
+    exit 1)
+
 (* ---------- E11 Theorem 11 ---------- *)
 
 let theorem11_table seeds =
@@ -546,6 +654,7 @@ let all seeds =
   attribution_table_cmd ();
   ignore (io_table_check ());
   window_table_cmd ();
+  ignore (txn_table_check ~seeds:4 ());
   exhaustive_table ()
 
 (* ---------- CLI ---------- *)
@@ -595,6 +704,18 @@ let () =
         "Replica io-pipeline ablation (exits 1 if group commit amortizes \
          fsyncs < 2x vs naive, or any audit is dirty)";
       cmd_of "window" window_table_cmd "Adaptive batching-window ablation";
+      Cmd.v
+        (Cmd.info "txn"
+           ~doc:
+             "Cross-shard commit ablation: 2PC vs Paxos Commit under \
+              coordinator kills (exits 1 unless 2PC blocks, Paxos Commit \
+              does not, every audit is clean, and Paxos regains liveness \
+              after the heal)")
+        Term.(
+          const txn_table_cmd
+          $ Arg.(
+              value & opt int 8
+              & info [ "seeds" ] ~doc:"Seeds per commit mode."));
       Cmd.v (Cmd.info "theorem11" ~doc:"E11 serializability table")
         Term.(const theorem11_table $ Arg.(value & opt int 30 & info [ "seeds" ]));
     ]

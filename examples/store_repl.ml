@@ -33,6 +33,17 @@
                         units: op rate, read fraction, success rate,
                         p99 latency, apply-queue depth
      balance            per-replica load, per-shard totals and spread
+     txn begin          open a cross-shard transaction buffer
+     txn read KEY       add KEY to the open transaction's read set
+     txn write KEY INT  add a write to the open transaction
+     txn commit [2pc|paxos]
+                        run the buffered transaction end to end:
+                        prepare locks a vote quorum per shard, then
+                        the decision is a coordinator bit (2pc) or a
+                        Paxos register over the participant replicas
+                        (paxos, the default)
+     txn abort          discard the buffer without touching replicas
+     txn                show the open transaction's footprint
      nemesis SCRIPT     install a fault schedule (Harness.Script text
                         form) relative to now, e.g.
                         nemesis @10 crash r0; @40 recover r0
@@ -219,6 +230,30 @@ let lint_world w =
   in
   go 0 []
 
+(* The transaction layer's extra static obligation, checked against
+   the live world: commit-version uniqueness needs any two prepare
+   (vote) quorums of a shard to intersect — a vote quorum is a mask
+   that is simultaneously a read and a write quorum, so this follows
+   from read/write intersection only when both predicates are
+   monotone, which is worth verifying rather than assuming. *)
+let txn_lint w =
+  List.init (Store.Router.n_shards w.router) (fun s ->
+      let strat = Store.Router.strategy w.router ~shard:s in
+      let n = strat.Store.Strategy.n in
+      let votes =
+        List.filter
+          (fun m ->
+            strat.Store.Strategy.read_ok m && strat.Store.Strategy.write_ok m)
+          (List.init ((1 lsl n) - 1) (fun i -> i + 1))
+      in
+      let ok =
+        votes <> []
+        && List.for_all
+             (fun a -> List.for_all (fun b -> a land b <> 0) votes)
+             votes
+      in
+      (s, ok))
+
 (* batch W | batch off — [Ok None] means "just show the window" *)
 let parse_batch = function
   | [] -> Ok None
@@ -231,6 +266,11 @@ let parse_batch = function
 
 let () =
   let w = ref (make_world ~n_shards:1 ~scheme:`Hash ~storage:None) in
+  (* the open transaction's buffered footprint (reversed input order),
+     and the txid sequence shared by every coordinator this session —
+     replicas remember decided txids, so the sequence never restarts *)
+  let txn_buf : (string list * (string * int) list) option ref = ref None in
+  let txn_seq = ref 0 in
   Fmt.pr "replicated store: 5 replicas, majority quorums, read repair on.@.";
   Fmt.pr "type 'help' for commands.@.";
   let run_op f =
@@ -266,9 +306,10 @@ let () =
               "put KEY INT | get KEY | crash NODE | recover NODE | cut A B | \
                heal A B | dump | policy [retries N | hedge D | off] | loss P | \
                shards [N [hash|range]] | batch [W | off] | window [adaptive | \
-               off] | storage [W F [naive|group] | off] | nemesis SCRIPT | \
-               script | top | balance | lint | stats | metrics | trace FILE | \
-               quit@.";
+               off] | storage [W F [naive|group] | off] | txn [begin | read \
+               KEY | write KEY INT | commit [2pc|paxos] | abort] | nemesis \
+               SCRIPT | script | top | balance | lint | stats | metrics | \
+               trace FILE | quit@.";
             loop ()
         | [ "put"; key; v ] ->
             (match int_of_string_opt v with
@@ -468,6 +509,109 @@ let () =
             Fmt.pr "total load %d | shard imbalance (max/mean) %.2f@." total
               imbalance;
             loop ()
+        | "txn" :: rest ->
+            let in_footprint (reads, writes) key =
+              List.mem key reads || List.mem_assoc key writes
+            in
+            let commit mode =
+              match !txn_buf with
+              | None -> Fmt.pr "txn: none open (use 'txn begin')@."
+              | Some ([], []) ->
+                  txn_buf := None;
+                  Fmt.pr "txn: empty footprint — trivially committed@."
+              | Some (rreads, rwrites) ->
+                  txn_buf := None;
+                  let reads = List.rev rreads
+                  and writes = List.rev rwrites in
+                  let co =
+                    Store.Txn.create ~name:"client" ~sim:!w.sim
+                      ~router:!w.router ~mode ~timeout:50.0 ~txn0:!txn_seq ()
+                  in
+                  run_op (fun () ->
+                      (* filled before on_done can fire: a nonempty
+                         footprint always resolves asynchronously *)
+                      let txid = ref "" in
+                      txid :=
+                        Store.Txn.execute co ~reads ~writes
+                          ~on_done:(fun ~committed ~reads ~writes ~latency ->
+                            if committed then begin
+                              Fmt.pr
+                                "OK  txn %s committed (%s, %.1f time units)@."
+                                !txid
+                                (Store.Txn.mode_label mode)
+                                latency;
+                              List.iter
+                                (fun (k, vn, v) ->
+                                  Fmt.pr "    read  %s = %d (version %d)@." k
+                                    v vn)
+                                reads;
+                              List.iter
+                                (fun (k, vn, v) ->
+                                  Fmt.pr "    wrote %s := %d (version %d)@." k
+                                    v vn)
+                                writes
+                            end
+                            else
+                              Fmt.pr
+                                "FAIL txn %s aborted (%s) — conflict, no \
+                                 quorum, or timeout; after a proposed \
+                                 decision this is ambiguous and recovery may \
+                                 still commit it@."
+                                !txid
+                                (Store.Txn.mode_label mode))
+                          ());
+                  txn_seq := Store.Txn.next_txn co
+            in
+            (match rest with
+            | [] -> (
+                match !txn_buf with
+                | None -> Fmt.pr "txn: none open (use 'txn begin')@."
+                | Some (reads, writes) ->
+                    Fmt.pr "txn: open — reads [%s], writes [%s]@."
+                      (String.concat "; " (List.rev reads))
+                      (String.concat "; "
+                         (List.rev_map
+                            (fun (k, v) -> Fmt.str "%s := %d" k v)
+                            writes)))
+            | [ "begin" ] -> (
+                match !txn_buf with
+                | Some _ ->
+                    Fmt.pr "txn: already open (commit or abort it first)@."
+                | None ->
+                    txn_buf := Some ([], []);
+                    Fmt.pr
+                      "txn: open (buffering; nothing is sent until commit)@.")
+            | [ "read"; key ] -> (
+                match !txn_buf with
+                | None -> Fmt.pr "txn: none open (use 'txn begin')@."
+                | Some ((reads, writes) as buf) ->
+                    if in_footprint buf key then
+                      Fmt.pr "txn: %s is already in the footprint (keys must \
+                              be distinct)@." key
+                    else txn_buf := Some (key :: reads, writes))
+            | [ "write"; key; v ] -> (
+                match int_of_string_opt v with
+                | None -> Fmt.pr "value must be an integer@."
+                | Some value -> (
+                    match !txn_buf with
+                    | None -> Fmt.pr "txn: none open (use 'txn begin')@."
+                    | Some ((reads, writes) as buf) ->
+                        if in_footprint buf key then
+                          Fmt.pr "txn: %s is already in the footprint (keys \
+                                  must be distinct)@." key
+                        else txn_buf := Some (reads, (key, value) :: writes)))
+            | [ "abort" ] -> (
+                match !txn_buf with
+                | None -> Fmt.pr "txn: none open@."
+                | Some _ ->
+                    txn_buf := None;
+                    Fmt.pr "txn: discarded (no replica was touched)@.")
+            | [ "commit" ] | [ "commit"; "paxos" ] -> commit `Paxos
+            | [ "commit"; "2pc" ] -> commit `Two_phase
+            | _ ->
+                Fmt.pr "usage: txn [begin | read KEY | write KEY INT | \
+                        commit [2pc|paxos] | abort]@.");
+            loop ()
         | "nemesis" :: rest ->
             (let text = String.concat " " rest in
              if String.trim text = "" then
@@ -531,7 +675,21 @@ let () =
                   Fmt.pr "lint: %d shard configuration%s legal@."
                     (List.length verdicts)
                     (if List.length verdicts = 1 then "" else "s")
-                else Fmt.pr "lint: ILLEGAL shard configuration@.");
+                else Fmt.pr "lint: ILLEGAL shard configuration@.";
+                (* the transaction layer's extra obligation on the
+                   same live world *)
+                let txn_verdicts = txn_lint !w in
+                List.iter
+                  (fun (s, ok) ->
+                    if not ok then
+                      Fmt.pr
+                        "txn: shard %d has disjoint prepare (vote) quorums — \
+                         two transactions could commit the same version@." s)
+                  txn_verdicts;
+                if List.for_all snd txn_verdicts then
+                  Fmt.pr
+                    "txn: prepare (vote) quorums pairwise intersect on every \
+                     shard — decided-version uniqueness holds@.");
             loop ()
         | [ "metrics" ] ->
             Fmt.pr "%s%!" (Obs.Metrics.dump !w.metrics);

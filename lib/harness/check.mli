@@ -22,6 +22,45 @@ val write_ok : audit -> key:string -> vn:int -> value:int -> now:float -> unit
 val violations : audit -> string list
 (** Violations so far, newest first (the historical order). *)
 
+type txn_audit
+(** Audit state for multi-key transaction histories: decided commits
+    (the replica-side decision hook — authoritative) and client-acked
+    commits (which carry read snapshots and anchor recency). *)
+
+val txn_audit : unit -> txn_audit
+
+val txn_decided :
+  txn_audit ->
+  txid:string ->
+  commit:bool ->
+  writes:(string * int * int) list ->
+  unit
+(** Record a decision learned at a replica.  Aborts are ignored;
+    duplicate commit records must agree on the write set. *)
+
+val txn_committed :
+  txn_audit ->
+  txid:string ->
+  started:float ->
+  now:float ->
+  reads:(string * int * int) list ->
+  writes:(string * int * int) list ->
+  unit
+(** Record a client-acked commit with its prepare-time read snapshot
+    ((key, vn, value) per read) and installed writes. *)
+
+val txn_check : txn_audit -> unit
+(** Run the end-of-run checks, appending violations: acked ⊆ decided,
+    per-key version uniqueness across decided commits, read validity,
+    recency of acked commits, and acyclicity of the serialization
+    graph (ww/wr/rw edges). *)
+
+val txn_violations : txn_audit -> string list
+(** Violations so far, newest first. *)
+
+val txn_acked_count : txn_audit -> int
+val txn_decided_count : txn_audit -> int
+
 val quorum_ok : name:string -> Quorum.Config.t -> (unit, string) result
 (** Static gate: legal read/write intersection and
     intersection-preserving minimization, via {!Lint.Quorum_check}. *)

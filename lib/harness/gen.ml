@@ -12,7 +12,7 @@ module Prng = Qc_util.Prng
 
 (** A random fault episode over [horizon]: returns the steps plus the
     episode's end time. *)
-let episode rng ~groups ~clients ~horizon =
+let episode ?(txn = false) rng ~groups ~clients ~horizon =
   let replicas =
     Array.to_list groups |> List.concat_map Array.to_list
   in
@@ -21,7 +21,8 @@ let episode rng ~groups ~clients ~horizon =
   let dur = (0.05 +. (Prng.float rng *. 0.25)) *. horizon in
   let t1 = t0 +. dur in
   let nodes = replicas @ clients in
-  match Prng.int rng 5 with
+  let kinds = if txn && clients <> [] then 6 else 5 in
+  match Prng.int rng kinds with
   | 0 ->
       (* random non-trivial bipartition of the replicas, healed later *)
       let shuffled = Prng.shuffle rng replicas in
@@ -48,7 +49,7 @@ let episode rng ~groups ~clients ~horizon =
   | 3 ->
       let p = 0.05 +. (Prng.float rng *. 0.4) in
       [ Script.At (t0, Script.Loss p); Script.At (t1, Script.Loss 0.0) ]
-  | _ ->
+  | 4 ->
       if n_shards < 2 then
         (* pausing the only shard stalls everything; crash one node *)
         let node = Prng.choose rng replicas in
@@ -58,13 +59,23 @@ let episode rng ~groups ~clients ~horizon =
         let s = Prng.int rng n_shards in
         [ Script.At (t0, Script.Pause_shard s);
           Script.At (t1, Script.Resume_shard s) ]
+  | _ ->
+      (* coordinator kill: crash a client mid-run, inside the commit
+         window of whatever transaction it is driving — the episode
+         that separates blocking 2PC from Paxos Commit.  Drawn only
+         with [~txn:true], so legacy scripts are byte-identical. *)
+      let c = Prng.choose rng clients in
+      let tc = (0.1 +. (Prng.float rng *. 0.6)) *. horizon in
+      [ Script.At (tc, Script.Crash c);
+        Script.At (tc +. dur, Script.Recover c) ]
 
 (** A random settling script: 1-4 episodes over [horizon], closed by a
     final [Heal] after the last episode ends. *)
-let script rng ~groups ~clients ~horizon : Script.t =
+let script ?(txn = false) rng ~groups ~clients ~horizon : Script.t =
   let n = 1 + Prng.int rng 4 in
   let episodes =
-    List.concat (List.init n (fun _ -> episode rng ~groups ~clients ~horizon))
+    List.concat
+      (List.init n (fun _ -> episode ~txn rng ~groups ~clients ~horizon))
   in
   let t_end =
     List.fold_left

@@ -5,6 +5,7 @@
 module Prng = Qc_util.Prng
 
 val episode :
+  ?txn:bool ->
   Prng.t ->
   groups:string array array ->
   clients:string list ->
@@ -12,9 +13,14 @@ val episode :
   Script.t
 (** One random fault episode (a disruptive step paired with the
     restorative step that undoes it): a replica bipartition, a node
-    crash, a link filter, a lossy window, or a shard pause. *)
+    crash, a link filter, a lossy window, or a shard pause.  With
+    [~txn:true] a sixth kind joins the draw — a coordinator kill that
+    crashes a client inside the commit window and recovers it later,
+    the episode that separates blocking 2PC from Paxos Commit.  The
+    default [false] keeps legacy scripts byte-identical. *)
 
 val script :
+  ?txn:bool ->
   Prng.t ->
   groups:string array array ->
   clients:string list ->
@@ -22,4 +28,4 @@ val script :
   Script.t
 (** A random settling script: 1-4 episodes over [horizon] closed by a
     final [Heal], so {!Script.quiesces_at} holds and liveness checks
-    apply on top of the audit. *)
+    apply on top of the audit.  [?txn] is forwarded to {!episode}. *)

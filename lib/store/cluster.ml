@@ -95,6 +95,26 @@ type params = {
           nemesis knobs (which compile onto the same interpreter);
           times are relative to the run start.  [[]] (default) adds
           nothing — byte-identical runs *)
+  txns : txn_spec option;
+      (** run a cross-shard transaction workload instead of the
+          single-key op loop: each client issues multi-key
+          transactions through a {!Txn} coordinator, the audit
+          switches to the multi-key serializability checks, and the
+          results gain transaction counts plus the blocked
+          (in-doubt) set.  [None] (default) changes nothing —
+          byte-identical runs *)
+}
+
+and txn_spec = {
+  txns_per_client : int;
+  keys_per_txn : int;  (** footprint size (distinct keys) *)
+  txn_read_fraction : float;  (** fraction of the footprint read-only *)
+  commit_mode : Txn.mode;  (** [`Two_phase] or [`Paxos] *)
+  txn_timeout : float;  (** per-transaction coordinator deadline *)
+  txn_retries : int;
+      (** re-executions of a failed transaction (each a fresh txid) *)
+  recovery_delay : float;
+      (** replica in-doubt recovery timer base (Paxos-Commit mode) *)
 }
 
 let default_params =
@@ -124,6 +144,18 @@ let default_params =
     trace_ctx = false;
     health_window = None;
     script = [];
+    txns = None;
+  }
+
+let default_txn_spec =
+  {
+    txns_per_client = 20;
+    keys_per_txn = 3;
+    txn_read_fraction = 0.34;
+    commit_mode = `Paxos;
+    txn_timeout = 400.0;
+    txn_retries = 2;
+    recovery_delay = 150.0;
   }
 
 type shard_stat = {
@@ -165,6 +197,14 @@ type results = {
           operation — the input of
           {!Harness.Check.liveness_after_heal}; not part of the digest
           (it is derivable from the traced run) *)
+  txn_run : bool;  (** the run used a transaction workload *)
+  ok_txns : int;  (** client-acked commits *)
+  failed_txns : int;  (** aborted / timed-out attempts (after retries) *)
+  txn_latency : Sim.Stats.summary;  (** acked-commit latencies *)
+  blocked_txns : string list;
+      (** txids still prepared-but-undecided at some replica when the
+          run drained — in-doubt forever; the blocking-2PC metric *)
+  decided_txns : int;  (** distinct committed decisions (≥ ok_txns) *)
 }
 
 let availability r =
@@ -220,7 +260,10 @@ let run (p : params) : results =
               else None
             in
             Replica.create ~metrics ~extra_labels ?storage
-              ~group_commit:p.group_commit ~name ())
+              ~group_commit:p.group_commit
+              ?txn_recovery_delay:
+                (Option.map (fun s -> s.recovery_delay) p.txns)
+              ~name ())
           group)
       group_names
   in
@@ -266,6 +309,20 @@ let run (p : params) : results =
      completion log liveness predicates consume *)
   let audit = Harness.Check.audit () in
   let completions = ref [] in
+  (* the multi-key audit of transaction runs, fed by every replica's
+     decision hook (authoritative — covers commits whose coordinator
+     died) and by client-acked commits *)
+  let txn_audit = Harness.Check.txn_audit () in
+  let ok_txns = ref 0 and failed_txns = ref 0 in
+  let txn_lat = Sim.Stats.create () in
+  (match p.txns with
+  | None -> ()
+  | Some _ ->
+      Array.iter
+        (Array.iter (fun r ->
+             Replica.set_on_decided r (fun ~txid ~commit ~writes ->
+                 Harness.Check.txn_decided txn_audit ~txid ~commit ~writes)))
+        replicas);
   let z = Workload.zipf ~n:p.workload.Workload.n_keys ~s:p.workload.Workload.zipf_s in
   let clients =
     List.mapi
@@ -372,17 +429,107 @@ let run (p : params) : results =
               ops
           end)
   in
-  List.iter
-    (fun (ci, c) -> issue ci c p.workload.Workload.ops_per_client ci)
-    clients;
+  (* the transaction driver: a closed loop per client issuing
+     multi-key transactions through a coordinator, with bounded
+     retries (each a fresh txid) spaced by think-time draws *)
+  let run_txns spec =
+    if spec.keys_per_txn < 1 then
+      invalid_arg "Cluster.run: keys_per_txn must be >= 1";
+    let n_reads =
+      int_of_float
+        (spec.txn_read_fraction *. float_of_int spec.keys_per_txn)
+    in
+    List.iter
+      (fun (ci, c) ->
+        let coord =
+          Txn.create
+            ~name:(Fmt.str "c%d" ci)
+            ~sim ~router:c ~mode:spec.commit_mode ~timeout:spec.txn_timeout
+            ()
+        in
+        let rec next remaining =
+          if remaining > 0 then
+            let think =
+              Prng.exponential wrng ~mean:p.workload.Workload.think_time
+            in
+            Core.schedule sim ~delay:think (fun () ->
+                (* a distinct-key Zipf footprint (bounded redraws) *)
+                let keys = ref [] and have = ref 0 and tries = ref 0 in
+                let cap = 100 * spec.keys_per_txn in
+                while !have < spec.keys_per_txn && !tries < cap do
+                  incr tries;
+                  let k = Workload.key_name (Workload.sample z wrng) in
+                  if not (List.exists (String.equal k) !keys) then begin
+                    keys := k :: !keys;
+                    incr have
+                  end
+                done;
+                let keys = List.rev !keys in
+                let reads = List.filteri (fun i _ -> i < n_reads) keys in
+                let wkeys = List.filteri (fun i _ -> i >= n_reads) keys in
+                let txn_no = spec.txns_per_client - remaining in
+                let writes =
+                  List.mapi
+                    (fun j k ->
+                      (k, ((ci + 1) * 1_000_000) + (txn_no * 1000) + j))
+                    wkeys
+                in
+                let rec attempt retries_left =
+                  let started = Core.now sim in
+                  (* the footprint is nonempty, so on_done fires from a
+                     scheduled reply or timeout — never inside execute —
+                     and the txid cell is filled before it runs *)
+                  let txid = ref "" in
+                  txid :=
+                    Txn.execute coord ~reads ~writes
+                      ~on_done:(fun ~committed ~reads:rsnap ~writes:wset
+                                    ~latency ->
+                        completions := (Core.now sim, committed) :: !completions;
+                        if committed then begin
+                          incr ok_txns;
+                          Sim.Stats.add txn_lat latency;
+                          Harness.Check.txn_committed txn_audit ~txid:!txid
+                            ~started ~now:(Core.now sim) ~reads:rsnap
+                            ~writes:wset;
+                          next (remaining - 1)
+                        end
+                        else if retries_left > 0 then
+                          Core.schedule sim
+                            ~delay:
+                              (Prng.exponential wrng
+                                 ~mean:p.workload.Workload.think_time)
+                            (fun () -> attempt (retries_left - 1))
+                        else begin
+                          incr failed_txns;
+                          next (remaining - 1)
+                        end)
+                      ()
+                in
+                attempt spec.txn_retries)
+        in
+        next spec.txns_per_client)
+      clients
+  in
+  (match p.txns with
+  | None ->
+      List.iter
+        (fun (ci, c) -> issue ci c p.workload.Workload.ops_per_client ci)
+        clients
+  | Some spec -> run_txns spec);
   (* the health sampler: every half-window until the workload has
      completed, so the event queue still drains *)
   (match health with
   | Some h ->
-      let total = p.n_clients * p.workload.Workload.ops_per_client in
+      let total =
+        match p.txns with
+        | None -> p.n_clients * p.workload.Workload.ops_per_client
+        | Some spec -> p.n_clients * spec.txns_per_client
+      in
       let period = Obs.Health.window h /. 2.0 in
       let completed () =
-        !ok_reads + !failed_reads + !ok_writes + !failed_writes
+        match p.txns with
+        | None -> !ok_reads + !failed_reads + !ok_writes + !failed_writes
+        | Some _ -> !ok_txns + !failed_txns
       in
       let rec tick () =
         Core.schedule sim ~delay:period (fun () ->
@@ -415,6 +562,17 @@ let run (p : params) : results =
   in
   ignore (Harness.Run.install env script : Sim.Failure.t list);
   Core.run sim;
+  (* transaction epilogue: run the end-of-run multi-key checks and
+     collect the in-doubt (blocked) set across every replica *)
+  let blocked =
+    match p.txns with
+    | None -> []
+    | Some _ ->
+        Harness.Check.txn_check txn_audit;
+        Array.to_list replicas |> List.concat_map Array.to_list
+        |> List.concat_map Replica.in_doubt
+        |> List.sort_uniq String.compare
+  in
   let shard_stats =
     List.init p.n_shards (fun s ->
         {
@@ -440,7 +598,10 @@ let run (p : params) : results =
       Array.to_list replicas |> List.concat_map Array.to_list
       |> List.map (fun (r : Replica.t) -> (r.Replica.name, Replica.load r));
     shards = shard_stats;
-    audit_violations = Harness.Check.violations audit;
+    audit_violations =
+      (match p.txns with
+      | None -> Harness.Check.violations audit
+      | Some _ -> Harness.Check.txn_violations txn_audit);
     duration = Core.now sim;
     installs =
       Array.to_list replicas |> List.concat_map Array.to_list
@@ -454,6 +615,12 @@ let run (p : params) : results =
     metrics;
     health = List.rev !health_samples;
     completions = List.rev !completions;
+    txn_run = p.txns <> None;
+    ok_txns = !ok_txns;
+    failed_txns = !failed_txns;
+    txn_latency = Sim.Stats.summarize txn_lat;
+    blocked_txns = blocked;
+    decided_txns = Harness.Check.txn_decided_count txn_audit;
   }
 
 (** A stable digest of the run's simulation outcome — every
@@ -485,4 +652,11 @@ let digest (r : results) : string =
   List.iter (fun v -> add "violation %s;" v) r.audit_violations;
   add "duration %h;" r.duration;
   add "io %d %d" r.installs r.fsyncs;
+  (* the txn section exists only on transaction runs, so every legacy
+     configuration digests byte-identically to before *)
+  if r.txn_run then begin
+    add ";txns %d %d %d;" r.ok_txns r.failed_txns r.decided_txns;
+    summary r.txn_latency;
+    List.iter (fun txid -> add "blocked %s;" txid) r.blocked_txns
+  end;
   Digest.to_hex (Digest.string (Buffer.contents b))

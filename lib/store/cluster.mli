@@ -70,9 +70,30 @@ type params = {
       (** scripted fault schedule installed on top of the legacy
           nemesis knobs; times relative to the run start ([[]] =
           nothing, byte-identical runs) *)
+  txns : txn_spec option;
+      (** run a cross-shard transaction workload through {!Txn}
+          coordinators instead of the single-key op loop; the audit
+          switches to the multi-key serializability checks ([None] =
+          off, byte-identical runs) *)
+}
+
+and txn_spec = {
+  txns_per_client : int;
+  keys_per_txn : int;  (** footprint size (distinct keys) *)
+  txn_read_fraction : float;  (** fraction of the footprint read-only *)
+  commit_mode : Txn.mode;  (** [`Two_phase] or [`Paxos] *)
+  txn_timeout : float;  (** per-transaction coordinator deadline *)
+  txn_retries : int;
+      (** re-executions of a failed transaction (each a fresh txid) *)
+  recovery_delay : float;
+      (** replica in-doubt recovery timer base (Paxos-Commit mode) *)
 }
 
 val default_params : params
+
+val default_txn_spec : txn_spec
+(** 20 txns/client, 3 keys each, ~1/3 read-only, [`Paxos], timeout
+    400, 2 retries, recovery base 150. *)
 
 type shard_stat = {
   shard : int;
@@ -108,6 +129,15 @@ type results = {
   completions : (float * bool) list;
       (** chronological [(finished_at, ok)] per completed operation —
           feed to {!Harness.Check.liveness_after_heal}; not digested *)
+  txn_run : bool;  (** the run used a transaction workload *)
+  ok_txns : int;  (** client-acked commits *)
+  failed_txns : int;  (** attempts exhausted of retries *)
+  txn_latency : Sim.Stats.summary;  (** acked-commit latencies *)
+  blocked_txns : string list;
+      (** txids still prepared-but-undecided at some replica when the
+          run drained — the blocking-2PC metric ([= []] under Paxos
+          Commit once partitions heal) *)
+  decided_txns : int;  (** distinct committed decisions (≥ ok_txns) *)
 }
 
 val availability : results -> float

@@ -40,6 +40,34 @@ type pending = {
           when the install's group leaves the queue *)
 }
 
+(** A prepared (in-doubt) transaction: the shard-local write set and
+    locked footprint of a yes-vote, held until the decision. *)
+type txn_entry = {
+  e_writes : (string * int) list;  (** this shard's (key, value) writes *)
+  e_reads : string list;  (** this shard's read-only footprint *)
+  e_kvs : (string * int * int) list;
+      (** the (key, vn, value) snapshot the yes-vote carried *)
+  e_acceptors : string list;
+      (** the decision register's acceptor set (all participant
+          replicas, canonical order) *)
+  e_paxos : bool;  (** recovery armed (Paxos-Commit mode) *)
+  mutable e_attempt : int;  (** recovery attempts launched so far *)
+}
+
+(** Recovery-leader state for one in-doubt transaction: a Paxos round
+    at ballot [l_bal] on the transaction's decision register. *)
+type rec_lead = {
+  l_bal : int;
+  mutable l_phase : [ `One | `Two ];
+  mutable l_heard : string list;  (** distinct phase-1b responders *)
+  mutable l_best : (int * bool * (string * int * int) list) option;
+      (** highest accepted value reported in phase 1 *)
+  mutable l_val : bool * (string * int * int) list;
+      (** the (commit, writes) proposed in phase 2 *)
+  mutable l_acks : string list;  (** distinct phase-2b responders *)
+  mutable l_live : bool;  (** false once nacked, superseded, or done *)
+}
+
 type t = {
   name : string;
   data : (string, int * int) Hashtbl.t;  (** key -> (vn, value) *)
@@ -52,10 +80,30 @@ type t = {
   mutable draining : bool;  (** a group is at the device right now *)
   m_fsyncs : Obs.Metrics.counter option;  (** [replica.fsync] *)
   m_queue_depth : Obs.Metrics.histogram option;  (** [replica.queue_depth] *)
+  (* ---- cross-shard transaction state ---- *)
+  locks : (string, string) Hashtbl.t;  (** key -> txid holding its lock *)
+  prepared : (string, txn_entry) Hashtbl.t;  (** txid -> in-doubt entry *)
+  decided : (string, bool * (string * int * int) list) Hashtbl.t;
+      (** txid -> (commit?, writes) — retained so late prepares,
+          ballots and retransmissions are answered with the decision *)
+  promised : (string, int) Hashtbl.t;  (** acceptor: highest promised ballot *)
+  accepted : (string, int * bool * (string * int * int) list) Hashtbl.t;
+      (** acceptor: highest accepted (ballot, commit?, writes) *)
+  leading : (string, rec_lead) Hashtbl.t;  (** recovery rounds this replica leads *)
+  txn_recovery_delay : float;
+  txn_recovery_attempts : int;
+  mutable txn_sim : Sim.Core.t option;  (** set at attach; recovery timers *)
+  mutable txn_send : (dst:string -> Protocol.msg -> unit) option;
+      (** set at attach; recovery-initiated sends *)
+  mutable on_decided :
+    (txid:string -> commit:bool -> writes:(string * int * int) list -> unit)
+    option;
+      (** fired once per transaction on the first locally learned
+          decision — the audit's authoritative commit log *)
 }
 
-let create ?metrics ?(extra_labels = []) ?storage ?(group_commit = true) ~name
-    () =
+let create ?metrics ?(extra_labels = []) ?storage ?(group_commit = true)
+    ?(txn_recovery_delay = 150.0) ?(txn_recovery_attempts = 8) ~name () =
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
@@ -83,6 +131,17 @@ let create ?metrics ?(extra_labels = []) ?storage ?(group_commit = true) ~name
     draining = false;
     m_fsyncs;
     m_queue_depth;
+    locks = Hashtbl.create 16;
+    prepared = Hashtbl.create 16;
+    decided = Hashtbl.create 16;
+    promised = Hashtbl.create 16;
+    accepted = Hashtbl.create 16;
+    leading = Hashtbl.create 4;
+    txn_recovery_delay;
+    txn_recovery_attempts;
+    txn_sim = None;
+    txn_send = None;
+    on_decided = None;
   }
 
 let lookup t key =
@@ -100,6 +159,258 @@ let queue_depth t = Queue.length t.queue
 let apply t ~vn ~key ~value =
   let cur_vn, _ = lookup t key in
   if vn >= cur_vn then Hashtbl.replace t.data key (vn, value)
+
+(* ---------- cross-shard transactions ---------- *)
+
+let set_on_decided t f = t.on_decided <- Some f
+
+let in_doubt t =
+  (* lint: order-insensitive *)
+  Hashtbl.fold (fun txid _ acc -> txid :: acc) t.prepared []
+  |> List.sort String.compare
+
+let locked_keys t =
+  (* lint: order-insensitive *)
+  Hashtbl.fold (fun k txid acc -> (k, txid) :: acc) t.locks []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let txn_footprint e = List.map fst e.e_writes @ e.e_reads
+
+(* the sim tracer, when the replica is attached — recovery runs on
+   timers, outside [serve]'s tracer argument *)
+let txn_trace t ~name ~txid ~extra =
+  match t.txn_sim with
+  | None -> ()
+  | Some sim ->
+      let tr = Sim.Core.tracer sim in
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant tr ~cat:"store" ~name ~track:t.name
+          ~args:(("txid", Obs.Trace.Str txid) :: extra)
+          ()
+
+(* Learn (idempotently) the transaction's decision: record it, fire
+   the decision hook once, install this shard's prepared writes at
+   their decided versions on commit, release the footprint locks.
+   Returns whether a prepared entry was resolved — commit quorums
+   count only such acks, because only they certify an install. *)
+let txn_apply_decision t ~txid ~commit ~writes =
+  if not (Hashtbl.mem t.decided txid) then begin
+    Hashtbl.replace t.decided txid (commit, writes);
+    match t.on_decided with
+    | Some f -> f ~txid ~commit ~writes
+    | None -> ()
+  end;
+  match Hashtbl.find_opt t.prepared txid with
+  | None -> false
+  | Some e ->
+      if commit then
+        List.iter
+          (fun (k, _) ->
+            match List.find_opt (fun (k', _, _) -> String.equal k' k) writes with
+            | Some (_, vn, value) ->
+                Obs.Metrics.inc t.installs;
+                apply t ~vn ~key:k ~value
+            | None -> ())
+          e.e_writes;
+      List.iter
+        (fun k ->
+          match Hashtbl.find_opt t.locks k with
+          | Some owner when String.equal owner txid -> Hashtbl.remove t.locks k
+          | _ -> ())
+        (txn_footprint e);
+      Hashtbl.remove t.prepared txid;
+      (match Hashtbl.find_opt t.leading txid with
+      | Some lead -> lead.l_live <- false
+      | None -> ());
+      true
+
+(* Acceptor logic on the per-transaction decision register.  Ballot 0
+   belongs to the coordinator (phase 1 skipped); recovery leaders use
+   ballots > 0 unique to (attempt, leader).  A decided register
+   short-circuits to the decision. *)
+let acceptor_p1 t ~txid ~bal =
+  match Hashtbl.find_opt t.decided txid with
+  | Some (commit, writes) -> `Decided (commit, writes)
+  | None ->
+      let promised =
+        Option.value ~default:0 (Hashtbl.find_opt t.promised txid)
+      in
+      if bal >= promised then begin
+        Hashtbl.replace t.promised txid bal;
+        `P1b (true, Hashtbl.find_opt t.accepted txid)
+      end
+      else `P1b (false, None)
+
+let acceptor_p2 t ~txid ~bal ~commit ~writes =
+  match Hashtbl.find_opt t.decided txid with
+  | Some (c, ws) -> `Decided (c, ws)
+  | None ->
+      let promised =
+        Option.value ~default:0 (Hashtbl.find_opt t.promised txid)
+      in
+      if bal >= promised then begin
+        Hashtbl.replace t.promised txid bal;
+        Hashtbl.replace t.accepted txid (bal, commit, writes);
+        `P2b true
+      end
+      else `P2b false
+
+(* Apply the decision locally (releasing our locks) and tell every
+   other participant — the learn broadcast after a chosen value. *)
+let broadcast_decision t ~txid ~commit ~writes =
+  let acceptors =
+    match Hashtbl.find_opt t.prepared txid with
+    | Some e -> e.e_acceptors
+    | None -> []
+  in
+  txn_trace t ~name:"txn.decide" ~txid
+    ~extra:[ ("commit", Obs.Trace.Str (string_of_bool commit)) ];
+  ignore (txn_apply_decision t ~txid ~commit ~writes : bool);
+  match t.txn_send with
+  | None -> ()
+  | Some send ->
+      List.iter
+        (fun a ->
+          if not (String.equal a t.name) then
+            send ~dst:a (Protocol.Txn_decide { rid = 0; txid; commit; writes; ctx = None }))
+        acceptors
+
+(* Phase-2b bookkeeping of a recovery round this replica leads: a
+   majority of the register's acceptors accepting [l_val] makes it
+   chosen — broadcast it. *)
+let lead_on_p2b t ~src ~txid ~bal ~ok =
+  match Hashtbl.find_opt t.leading txid with
+  | Some lead when lead.l_live && lead.l_bal = bal && lead.l_phase = `Two ->
+      if not ok then lead.l_live <- false
+      else begin
+        if not (List.exists (String.equal src) lead.l_acks) then
+          lead.l_acks <- src :: lead.l_acks;
+        match Hashtbl.find_opt t.prepared txid with
+        | None -> lead.l_live <- false
+        | Some e ->
+            let n = List.length e.e_acceptors in
+            if List.length lead.l_acks >= (n / 2) + 1 then begin
+              lead.l_live <- false;
+              let commit, writes = lead.l_val in
+              broadcast_decision t ~txid ~commit ~writes
+            end
+      end
+  | _ -> ()
+
+(* Phase-1b bookkeeping: on a majority of promises, propose the
+   highest accepted value seen — or Abort if the register is free
+   (the Gray–Lamport rule: a missed vote aborts). *)
+let lead_on_p1b t ~src ~txid ~bal ~ok ~accepted =
+  match Hashtbl.find_opt t.leading txid with
+  | Some lead when lead.l_live && lead.l_bal = bal && lead.l_phase = `One ->
+      if not ok then lead.l_live <- false
+      else begin
+        if not (List.exists (String.equal src) lead.l_heard) then begin
+          lead.l_heard <- src :: lead.l_heard;
+          match accepted with
+          | Some (abal, _, _) -> (
+              match lead.l_best with
+              | Some (bbal, _, _) when bbal >= abal -> ()
+              | _ -> lead.l_best <- accepted)
+          | None -> ()
+        end;
+        match Hashtbl.find_opt t.prepared txid with
+        | None -> lead.l_live <- false
+        | Some e ->
+            let n = List.length e.e_acceptors in
+            if List.length lead.l_heard >= (n / 2) + 1 then begin
+              lead.l_phase <- `Two;
+              let commit, writes =
+                match lead.l_best with
+                | Some (_, c, ws) -> (c, ws)
+                | None -> (false, [])
+              in
+              lead.l_val <- (commit, writes);
+              (match acceptor_p2 t ~txid ~bal ~commit ~writes with
+              | `Decided (c, ws) ->
+                  lead.l_live <- false;
+                  broadcast_decision t ~txid ~commit:c ~writes:ws
+              | `P2b self_ok -> lead_on_p2b t ~src:t.name ~txid ~bal ~ok:self_ok);
+              if lead.l_live then
+                match t.txn_send with
+                | None -> ()
+                | Some send ->
+                    List.iter
+                      (fun a ->
+                        if not (String.equal a t.name) then
+                          send ~dst:a
+                            (Protocol.Txn_p2a
+                               { rid = 0; txid; bal; commit; writes; ctx = None }))
+                      e.e_acceptors
+            end
+      end
+  | _ -> ()
+
+(* One recovery attempt: a fresh ballot unique to (attempt, this
+   leader), phase 1 to every acceptor (self first, synchronously). *)
+let start_recovery t ~txid (e : txn_entry) ~my_index =
+  let bal = (e.e_attempt * (List.length e.e_acceptors + 1)) + my_index + 1 in
+  txn_trace t ~name:"txn.recover" ~txid ~extra:[ ("bal", Obs.Trace.Int bal) ];
+  let lead =
+    {
+      l_bal = bal;
+      l_phase = `One;
+      l_heard = [];
+      l_best = None;
+      l_val = (false, []);
+      l_acks = [];
+      l_live = true;
+    }
+  in
+  Hashtbl.replace t.leading txid lead;
+  (match acceptor_p1 t ~txid ~bal with
+  | `Decided (commit, writes) ->
+      lead.l_live <- false;
+      broadcast_decision t ~txid ~commit ~writes
+  | `P1b (ok, accepted) -> lead_on_p1b t ~src:t.name ~txid ~bal ~ok ~accepted);
+  if lead.l_live then
+    match t.txn_send with
+    | None -> ()
+    | Some send ->
+        List.iter
+          (fun a ->
+            if not (String.equal a t.name) then
+              send ~dst:a (Protocol.Txn_p1a { rid = 0; txid; bal }))
+          e.e_acceptors
+
+(* Arm (and re-arm) the recovery timer for an in-doubt transaction:
+   exponentially spaced, staggered by the replica's acceptor index so
+   concurrent leaders rarely duel, bounded attempts so the event queue
+   always drains. *)
+let rec arm_recovery t ~txid =
+  match t.txn_sim with
+  | None -> ()
+  | Some sim -> (
+      match Hashtbl.find_opt t.prepared txid with
+      | None -> ()
+      | Some e ->
+          let my_index =
+            let rec idx i = function
+              | [] -> 0
+              | a :: rest -> if String.equal a t.name then i else idx (i + 1) rest
+            in
+            idx 0 e.e_acceptors
+          in
+          let delay =
+            t.txn_recovery_delay
+            *. (1.0 +. (0.25 *. float_of_int my_index))
+            *. (2.0 ** float_of_int e.e_attempt)
+          in
+          Sim.Core.schedule sim ~delay (fun () ->
+              if
+                Hashtbl.mem t.prepared txid
+                && (not (Hashtbl.mem t.decided txid))
+                && e.e_attempt < t.txn_recovery_attempts
+              then begin
+                e.e_attempt <- e.e_attempt + 1;
+                start_recovery t ~txid e ~my_index;
+                arm_recovery t ~txid
+              end))
 
 (* Drain the apply queue through the storage device: take a group
    (the whole queue under group commit, one install otherwise), apply
@@ -177,8 +488,9 @@ let ctx_args = function None -> [] | Some cx -> Obs.Ctx.args cx
 (* Answer one request, delivering each reply through [reply] — possibly
    asynchronously (a pipelined install acks after its group's fsync; a
    batch frame replies when its last part has).  Non-requests get no
-   reply. *)
-let rec serve t ~(tr : Obs.Trace.t) ~reply msg =
+   reply.  [src] identifies the sender — recovery-leader bookkeeping
+   (phase-1b/2b quorum counting) needs it; request handling does not. *)
+let rec serve t ?(src = "") ~(tr : Obs.Trace.t) ~reply msg =
   match msg with
   | Protocol.Query_req { rid; key; ctx } ->
       Obs.Metrics.inc t.queries;
@@ -259,17 +571,104 @@ let rec serve t ~(tr : Obs.Trace.t) ~reply msg =
           (fun i part ->
             match part with
             | Protocol.Query_req _ | Protocol.Install_req _
-            | Protocol.Batch_req _ ->
-                serve t ~tr part ~reply:(fun rep ->
+            | Protocol.Batch_req _ | Protocol.Txn_prepare _
+            | Protocol.Txn_p1a _ | Protocol.Txn_p2a _ | Protocol.Txn_decide _
+              ->
+                serve t ~src ~tr part ~reply:(fun rep ->
                     slots.(i) <- Some rep;
                     part_done ())
             | Protocol.Query_rep _ | Protocol.Install_ack _
-            | Protocol.Batch_rep _ ->
-                (* non-requests earn no reply slot, as before *)
+            | Protocol.Batch_rep _ | Protocol.Txn_vote _ | Protocol.Txn_p1b _
+            | Protocol.Txn_p2b _ | Protocol.Txn_decide_ack _ ->
+                (* non-requests earn no reply slot, as before — but a
+                   leader-side message still updates recovery state *)
+                serve t ~src ~tr part ~reply:(fun _ -> ());
                 part_done ())
           reqs
       end
-  | Protocol.Query_rep _ | Protocol.Install_ack _ | Protocol.Batch_rep _ -> ()
+  | Protocol.Txn_prepare { rid; txid; writes; reads; acceptors; paxos; ctx } -> (
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant tr ~cat:"store" ~name:"txn.prepare" ~track:t.name
+          ~args:
+            ([ ("txid", Obs.Trace.Str txid); ("rid", Obs.Trace.Int rid) ]
+            @ ctx_args ctx)
+          ();
+      match Hashtbl.find_opt t.decided txid with
+      | Some (commit, dwrites) ->
+          (* already resolved (a recovery finished before this
+             retransmission): answer with the decision *)
+          reply
+            (Protocol.Txn_decide { rid; txid; commit; writes = dwrites; ctx = None })
+      | None -> (
+          match Hashtbl.find_opt t.prepared txid with
+          | Some e ->
+              (* duplicate prepare: re-send the identical vote *)
+              reply (Protocol.Txn_vote { rid; txid; yes = true; kvs = e.e_kvs })
+          | None ->
+              let footprint = List.map fst writes @ reads in
+              let conflict =
+                List.exists
+                  (fun k ->
+                    match Hashtbl.find_opt t.locks k with
+                    | Some owner -> not (String.equal owner txid)
+                    | None -> false)
+                  footprint
+              in
+              if conflict then
+                reply (Protocol.Txn_vote { rid; txid; yes = false; kvs = [] })
+              else begin
+                List.iter (fun k -> Hashtbl.replace t.locks k txid) footprint;
+                let kvs =
+                  List.map
+                    (fun k ->
+                      let vn, v = lookup t k in
+                      (k, vn, v))
+                    footprint
+                in
+                Hashtbl.replace t.prepared txid
+                  {
+                    e_writes = writes;
+                    e_reads = reads;
+                    e_kvs = kvs;
+                    e_acceptors = acceptors;
+                    e_paxos = paxos;
+                    e_attempt = 0;
+                  };
+                if paxos then arm_recovery t ~txid;
+                reply (Protocol.Txn_vote { rid; txid; yes = true; kvs })
+              end))
+  | Protocol.Txn_decide { rid; txid; commit; writes; ctx } ->
+      if Obs.Trace.enabled tr then
+        Obs.Trace.instant tr ~cat:"store" ~name:"txn.decide" ~track:t.name
+          ~args:
+            ([
+               ("txid", Obs.Trace.Str txid);
+               ("commit", Obs.Trace.Str (string_of_bool commit));
+             ]
+            @ ctx_args ctx)
+          ();
+      let applied = txn_apply_decision t ~txid ~commit ~writes in
+      reply (Protocol.Txn_decide_ack { rid; txid; applied })
+  | Protocol.Txn_p1a { rid; txid; bal } -> (
+      match acceptor_p1 t ~txid ~bal with
+      | `Decided (commit, writes) ->
+          reply (Protocol.Txn_decide { rid; txid; commit; writes; ctx = None })
+      | `P1b (ok, accepted) ->
+          reply (Protocol.Txn_p1b { rid; txid; bal; ok; accepted }))
+  | Protocol.Txn_p2a { rid; txid; bal; commit; writes; ctx = _ } -> (
+      match acceptor_p2 t ~txid ~bal ~commit ~writes with
+      | `Decided (c, ws) ->
+          reply (Protocol.Txn_decide { rid; txid; commit = c; writes = ws; ctx = None })
+      | `P2b ok -> reply (Protocol.Txn_p2b { rid; txid; bal; ok }))
+  | Protocol.Txn_p1b { txid; bal; ok; accepted; _ } ->
+      lead_on_p1b t ~src ~txid ~bal ~ok ~accepted
+  | Protocol.Txn_p2b { txid; bal; ok; _ } -> lead_on_p2b t ~src ~txid ~bal ~ok
+  | Protocol.Txn_decide_ack { txid; _ } ->
+      (* a participant acking our recovery broadcast — nothing to do *)
+      ignore txid
+  | Protocol.Query_rep _ | Protocol.Install_ack _ | Protocol.Batch_rep _
+  | Protocol.Txn_vote _ ->
+      ()
 
 (* The synchronous view of [serve], for tests and layers that know the
    replica has no storage device: returns the reply if one was
@@ -284,8 +683,12 @@ let handle_one t ~tr msg =
 (** Attach the replica to the network. *)
 let attach t ~(net : Protocol.msg Sim.Net.t) =
   let tr = Sim.Net.tracer net in
+  (* recovery leadership needs a clock (timers) and a way to talk to
+     peer replicas outside any client engine *)
+  t.txn_sim <- Some (Sim.Net.sim net);
+  t.txn_send <- Some (fun ~dst msg -> Sim.Net.send net ~src:t.name ~dst msg);
   Sim.Net.register net ~node:t.name (fun ~src msg ->
-      serve t ~tr msg ~reply:(fun rep ->
+      serve t ~src ~tr msg ~reply:(fun rep ->
           match rep with
           | Protocol.Batch_rep { reps; _ } ->
               Sim.Net.send net ~src:t.name ~dst:src

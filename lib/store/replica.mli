@@ -34,6 +34,31 @@ type pending = {
           when the install's group leaves the queue *)
 }
 
+type txn_entry = {
+  e_writes : (string * int) list;  (** this shard's (key, value) writes *)
+  e_reads : string list;  (** this shard's read-only footprint *)
+  e_kvs : (string * int * int) list;
+      (** the (key, vn, value) snapshot the yes-vote carried *)
+  e_acceptors : string list;
+      (** the decision register's acceptor set (all participant
+          replicas, canonical order) *)
+  e_paxos : bool;  (** recovery armed (Paxos-Commit mode) *)
+  mutable e_attempt : int;  (** recovery attempts launched so far *)
+}
+(** A prepared (in-doubt) transaction: the shard-local write set and
+    locked footprint of a yes-vote, held until the decision. *)
+
+type rec_lead = {
+  l_bal : int;
+  mutable l_phase : [ `One | `Two ];
+  mutable l_heard : string list;
+  mutable l_best : (int * bool * (string * int * int) list) option;
+  mutable l_val : bool * (string * int * int) list;
+  mutable l_acks : string list;
+  mutable l_live : bool;
+}
+(** Recovery-leader state for one in-doubt transaction. *)
+
 type t = {
   name : string;
   data : (string, int * int) Hashtbl.t;
@@ -46,6 +71,21 @@ type t = {
   mutable draining : bool;  (** a group is at the device right now *)
   m_fsyncs : Obs.Metrics.counter option;  (** [replica.fsync] *)
   m_queue_depth : Obs.Metrics.histogram option;  (** [replica.queue_depth] *)
+  locks : (string, string) Hashtbl.t;  (** key -> txid holding its lock *)
+  prepared : (string, txn_entry) Hashtbl.t;  (** txid -> in-doubt entry *)
+  decided : (string, bool * (string * int * int) list) Hashtbl.t;
+      (** txid -> (commit?, writes) — answers late ballots and
+          retransmissions with the decision *)
+  promised : (string, int) Hashtbl.t;
+  accepted : (string, int * bool * (string * int * int) list) Hashtbl.t;
+  leading : (string, rec_lead) Hashtbl.t;
+  txn_recovery_delay : float;
+  txn_recovery_attempts : int;
+  mutable txn_sim : Sim.Core.t option;
+  mutable txn_send : (dst:string -> Protocol.msg -> unit) option;
+  mutable on_decided :
+    (txid:string -> commit:bool -> writes:(string * int * int) list -> unit)
+    option;
 }
 
 val create :
@@ -53,6 +93,8 @@ val create :
   ?extra_labels:(string * string) list ->
   ?storage:Sim.Storage.t ->
   ?group_commit:bool ->
+  ?txn_recovery_delay:float ->
+  ?txn_recovery_attempts:int ->
   name:string ->
   unit ->
   t
@@ -63,7 +105,10 @@ val create :
     [group_commit] (default true, meaningful only with storage) drains
     the queue a whole group per fsync rather than one install per
     fsync.  Pipelined replicas additionally register [replica.fsync]
-    and [replica.queue_depth] instruments. *)
+    and [replica.queue_depth] instruments.  [txn_recovery_delay]
+    (default 150.0 sim-ms) times the first in-doubt recovery attempt
+    in Paxos-Commit mode; [txn_recovery_attempts] (default 8) bounds
+    attempts so the event queue always drains. *)
 
 val lookup : t -> string -> int * int
 
@@ -76,12 +121,35 @@ val fsyncs : t -> int
 val queue_depth : t -> int
 (** Installs currently waiting in the apply queue. *)
 
+val set_on_decided :
+  t ->
+  (txid:string -> commit:bool -> writes:(string * int * int) list -> unit) ->
+  unit
+(** Install the decision hook: fired exactly once per transaction, on
+    the first locally learned decision (whether it arrived as a
+    coordinator [Txn_decide], a recovery broadcast, or a decided
+    short-circuit).  The audit's authoritative commit log. *)
+
+val in_doubt : t -> string list
+(** The txids of transactions prepared here but not yet decided —
+    blocked (in-doubt) transactions.  Sorted. *)
+
+val locked_keys : t -> (string * string) list
+(** The (key, owner-txid) pairs currently write-locked, sorted by key. *)
+
 val serve :
-  t -> tr:Obs.Trace.t -> reply:(Protocol.msg -> unit) -> Protocol.msg -> unit
+  t ->
+  ?src:string ->
+  tr:Obs.Trace.t ->
+  reply:(Protocol.msg -> unit) ->
+  Protocol.msg ->
+  unit
 (** Process one request, delivering each reply through [reply] —
     synchronously for queries and storage-free installs, after the
     group's fsync for pipelined installs; a batch frame replies once
-    its last part has.  Non-requests produce no reply. *)
+    its last part has.  Non-requests produce no reply.  [src] names
+    the sender; recovery-leader bookkeeping (phase-1b/2b quorum
+    counting) needs it, request handling does not. *)
 
 val handle_one : t -> tr:Obs.Trace.t -> Protocol.msg -> Protocol.msg option
 (** The synchronous view of {!serve}: the reply produced in the same

@@ -121,6 +121,26 @@ let attach t =
         | Some s -> Client.handle t.shards.(s) ~src msg
         | None -> ())
 
+(** Group keys by owning shard: one (shard, keys) pair per shard that
+    owns at least one of the input keys, shards in first-appearance
+    order, each shard's keys in input order.  No deduplication — a key
+    given twice appears twice.  The txn layer's footprint split. *)
+let route_many t keys =
+  let buckets : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun key ->
+      let s = t.shard_of key in
+      match Hashtbl.find_opt buckets s with
+      | Some r -> r := key :: !r
+      | None ->
+          Hashtbl.replace buckets s (ref [ key ]);
+          order := s :: !order)
+    keys;
+  List.rev_map
+    (fun s -> (s, List.rev !(Hashtbl.find buckets s)))
+    !order
+
 let read t ~key ~on_done =
   Client.read t.shards.(t.shard_of key) ~key ~on_done
 

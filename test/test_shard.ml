@@ -258,6 +258,84 @@ let test_default_trace_golden () =
         (Digest.to_hex (Digest.string s)))
     golden
 
+(* ---------- route_many: the txn layer's footprint split ---------- *)
+
+(* [route_many] must agree with [shard_of] key by key, keep shards in
+   first-appearance order, each shard's keys in input order, and
+   preserve duplicates — under both schemes *)
+let test_route_many_groups () =
+  List.iter
+    (fun scheme ->
+      let sim = Core.create ~seed:1 in
+      let groups =
+        Array.init 3 (fun s ->
+            Array.init 3 (fun i -> Fmt.str "s%d:r%d" s i))
+      in
+      let nodes =
+        (Array.to_list groups |> List.concat_map Array.to_list) @ [ "c0" ]
+      in
+      let net =
+        Net.create ~sim ~nodes ~latency:(Net.uniform_latency ~lo:1.0 ~hi:1.0) ()
+      in
+      let r =
+        Router.create ~name:"c0" ~sim ~net ~groups
+          ~strategies:(Array.make 3 (Store.Strategy.majority 3))
+          ~scheme ~n_keys:30 ()
+      in
+      let keys =
+        List.init 12 Store.Workload.key_name @ [ "k3"; "alpha"; "k3" ]
+      in
+      let split = Router.route_many r keys in
+      (* every key lands with its own shard, order and duplicates kept *)
+      let flattened =
+        List.concat_map (fun (s, ks) -> List.map (fun k -> (s, k)) ks) split
+      in
+      List.iter
+        (fun (s, k) ->
+          Alcotest.(check int)
+            (Fmt.str "%s agrees with shard_of (%s)" k
+               (Router.scheme_label scheme))
+            (Router.shard_of r k) s)
+        flattened;
+      Alcotest.(check (list string))
+        "all keys kept, per-shard input order"
+        (List.sort String.compare keys)
+        (List.sort String.compare (List.map snd flattened));
+      (* shards appear once each, in first-appearance order *)
+      let shard_order = List.map fst split in
+      Alcotest.(check (list int))
+        "shards listed once, in first-appearance order"
+        (List.fold_left
+           (fun acc k ->
+             let s = Router.shard_of r k in
+             if List.mem s acc then acc else acc @ [ s ])
+           [] keys)
+        shard_order;
+      (* within a shard, keys keep input order *)
+      List.iter
+        (fun (s, ks) ->
+          let expected =
+            List.filter (fun k -> Router.shard_of r k = s) keys
+          in
+          Alcotest.(check (list string))
+            (Fmt.str "shard %d keys in input order" s)
+            expected ks)
+        split;
+      (* under [`Range], a contiguous key run splits into contiguous
+         per-shard runs *)
+      if scheme = `Range then
+        List.iter
+          (fun (_, ks) ->
+            let idx = List.filter_map Router.key_index ks in
+            ignore
+              (List.fold_left
+                 (fun prev i ->
+                   Alcotest.(check bool) "contiguous run" true (i >= prev);
+                   i)
+                 (-1) idx))
+          (Router.route_many r (List.init 12 Store.Workload.key_name)))
+    [ `Hash; `Range ]
+
 (* a pinned PRNG state makes the drawn cases — and therefore the whole
    suite — deterministic run to run *)
 let qcheck t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t
@@ -273,6 +351,8 @@ let suites =
         Alcotest.test_case "hash scheme spreads keys" `Quick test_hash_spreads;
         Alcotest.test_case "key_index parses numeric suffixes" `Quick
           test_key_index;
+        Alcotest.test_case "route_many groups by shard" `Quick
+          test_route_many_groups;
         Alcotest.test_case "default runs match pre-router traces" `Slow
           test_default_trace_golden;
       ] );
