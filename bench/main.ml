@@ -349,6 +349,43 @@ let t_sharded_adaptive_window =
              Store.Cluster.adaptive_window = Some Rpc.Window.default_config;
            }))
 
+(* the tuning layer: the analytic optimizer sweep (every candidate
+   family scored and admitted), the steering pick over a quorum set,
+   and a full cluster run with the optimizer + steering enabled — what
+   workload-awareness costs on the hot path vs Q2's static majority *)
+let t_tune_choose =
+  Test.make ~name:"T1 optimizer sweep (n=5 candidates)"
+    (Staged.stage (fun () ->
+         Store.Autotune.choose ~read_fraction:0.9 ~p_alive:0.99
+           ~lat:(fun _ -> 1.0)
+           5))
+
+let steer_masks =
+  Tune.Model.minimal_read_quorums (Store.Autotune.to_system majority7_mask)
+
+let steer_stats =
+  {
+    Tune.Steer.latency = (fun i -> 1.0 +. (0.1 *. float_of_int i));
+    queue = (fun i -> float_of_int (i mod 3));
+    queue_weight = 2.0;
+  }
+
+let t_tune_steer =
+  Test.make ~name:"T2 steering pick (majority-7 quorums)"
+    (Staged.stage (fun () -> Tune.Steer.best steer_stats steer_masks))
+
+let t_tuned_cluster =
+  Test.make ~name:"T3 tuned cluster run (optimizer + steering)"
+    (Staged.stage (fun () ->
+         Store.Cluster.run
+           {
+             Store.Cluster.default_params with
+             targeting = `Quorum;
+             workload = { Store.Workload.default_spec with ops_per_client = 25 };
+             tune = Some Store.Cluster.default_tune_spec;
+             seed = fixture_seed;
+           }))
+
 let all_tests =
   [
     t_f1_build_system_b;
@@ -384,6 +421,9 @@ let all_tests =
     t_sharded_group_commit;
     t_sharded_adaptive_window;
     t_scripted_rolling_partition;
+    t_tune_choose;
+    t_tune_steer;
+    t_tuned_cluster;
   ]
 
 let test_name t = Test.Elt.name (List.hd (Test.elements t))

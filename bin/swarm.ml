@@ -23,6 +23,9 @@ type shape = {
   txn : Store.Txn.mode option;
       (* [Some _] swaps the single-key op loop for the cross-shard
          transaction workload and arms coordinator-kill episodes *)
+  tune : bool;
+      (* enable the workload-aware quorum optimizer + read steering,
+         so the fuzzer audits runs that re-strategize mid-flight *)
 }
 
 (* mirror Cluster.run's naming so generated scripts target real nodes *)
@@ -79,6 +82,8 @@ let run_one shape ~seed script =
                 recovery_delay = 40.0;
               })
             shape.txn;
+        tune =
+          (if shape.tune then Some Store.Cluster.default_tune_spec else None);
       }
   in
   let audit = r.Store.Cluster.audit_violations in
@@ -120,12 +125,13 @@ let gen_for shape ~seed =
     ~clients:(client_names shape) ~horizon:300.0
 
 let extra_flags shape =
-  Fmt.str "--shards %d --replicas %d --clients %d --ops %d%s%s" shape.shards
+  Fmt.str "--shards %d --replicas %d --clients %d --ops %d%s%s%s" shape.shards
     shape.replicas shape.clients shape.ops
     (if shape.unsafe then " --unsafe" else "")
     (match shape.txn with
     | None -> ""
     | Some m -> " --txn " ^ Store.Txn.mode_label m)
+    (if shape.tune then " --tune" else "")
 
 let sweep shape seeds seed0 max_failures json_path =
   (* fail fast on a structurally broken configuration: fuzzing a
@@ -230,10 +236,20 @@ let shape_term =
              $(b,paxos) any transaction left blocked after quiescence is a \
              violation.")
   in
+  let tune =
+    Arg.(
+      value & flag
+      & info [ "tune" ]
+          ~doc:
+            "Enable the workload-aware quorum optimizer and queue-aware read \
+             steering, so runs re-strategize mid-flight (joint-strategy \
+             transition + key migration) while the fault scripts fire.  The \
+             audits must stay clean across every committed switch.")
+  in
   Term.(
-    const (fun shards replicas clients ops unsafe txn ->
-        { shards; replicas; clients; ops; unsafe; txn })
-    $ shards $ replicas $ clients $ ops $ unsafe $ txn)
+    const (fun shards replicas clients ops unsafe txn tune ->
+        { shards; replicas; clients; ops; unsafe; txn; tune })
+    $ shards $ replicas $ clients $ ops $ unsafe $ txn $ tune)
 
 let sweep_cmd =
   let seeds =

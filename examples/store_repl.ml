@@ -51,6 +51,10 @@
      lint               statically check every shard's quorum
                         configuration (intersection, minimality,
                         non-domination) without touching the simulation
+     tune               per-shard strategy report: current strategy,
+                        live read fraction over the health window, and
+                        the workload-aware optimizer's pick with its
+                        predicted load / latency / availability
      stats              ops / network counters
      metrics            dump the metrics registry
      trace FILE         write the session's Chrome trace (Perfetto)
@@ -308,8 +312,8 @@ let () =
                shards [N [hash|range]] | batch [W | off] | window [adaptive | \
                off] | storage [W F [naive|group] | off] | txn [begin | read \
                KEY | write KEY INT | commit [2pc|paxos] | abort] | nemesis \
-               SCRIPT | script | top | balance | lint | stats | metrics | \
-               trace FILE | quit@.";
+               SCRIPT | script | top | balance | lint | tune | stats | \
+               metrics | trace FILE | quit@.";
             loop ()
         | [ "put"; key; v ] ->
             (match int_of_string_opt v with
@@ -690,6 +694,41 @@ let () =
                   Fmt.pr
                     "txn: prepare (vote) quorums pairwise intersect on every \
                      shard — decided-version uniqueness holds@.");
+            loop ()
+        | [ "tune" ] ->
+            (* side-effect-free peek: the sample feed (and `top`'s
+               window pruning) stays untouched *)
+            let snaps = Obs.Health.peek !w.health ~at:(Core.now !w.sim) in
+            List.iter
+              (fun (snap : Obs.Health.snapshot) ->
+                let s = snap.Obs.Health.shard in
+                let current = Store.Router.strategy !w.router ~shard:s in
+                let live = not (Float.is_nan snap.Obs.Health.read_fraction) in
+                let rf =
+                  if live then snap.Obs.Health.read_fraction else 0.9
+                in
+                Fmt.pr "shard %d: strategy %s (epoch %d) | read fraction %s \
+                        (%d ops in window)@."
+                  s current.Store.Strategy.name
+                  (Store.Router.epoch !w.router ~shard:s)
+                  (if live then Fmt.str "%.2f" rf else "0.90 (assumed — no ops)")
+                  snap.Obs.Health.ops;
+                match
+                  Store.Autotune.choose ~read_fraction:rf ~p_alive:0.99
+                    ~lat:(fun _ -> 1.0)
+                    replicas_per_shard
+                with
+                | None -> Fmt.pr "  optimizer: no admissible candidate@."
+                | Some { Store.Autotune.strategy; score } ->
+                    Fmt.pr "  optimizer picks %s%s@."
+                      strategy.Store.Strategy.name
+                      (if
+                         String.equal strategy.Store.Strategy.name
+                           current.Store.Strategy.name
+                       then " (keep)"
+                       else " (switch)");
+                    Fmt.pr "  predicted %a@." Tune.Model.pp_score score)
+              snaps;
             loop ()
         | [ "metrics" ] ->
             Fmt.pr "%s%!" (Obs.Metrics.dump !w.metrics);

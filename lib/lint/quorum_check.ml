@@ -188,6 +188,45 @@ let catalog () : (string * expect * Config.t) list =
         { free with exp_ww = Some true }
         (Config.grid ~rows ~cols (dms (rows * cols))))
     [ (1, 4); (4, 1); (2, 2); (2, 3); (3, 2); (3, 3) ];
+  (* two-level hierarchical (tree) quorums, mirroring
+     [Store.Strategy.tree]: the universe splits into [groups]
+     contiguous groups (bounds [g*n/groups .. (g+1)*n/groups)], the
+     same arithmetic as the strategy); a quorum is a within-group
+     majority from each group of a majority of groups.  Any two
+     quorums share a group (two group-majorities intersect) and hold
+     within-group majorities there, so read=write both sides
+     intersect; quorums over distinct group subsets are incomparable
+     and same-subset quorums differ only in equal-sized majorities,
+     so both sides are antichains. *)
+  let tree ~groups n =
+    let u = dms n in
+    let group g =
+      let lo = g * n / groups and hi = (g + 1) * n / groups in
+      List.filteri (fun i _ -> i >= lo && i < hi) u
+    in
+    let group_majorities g =
+      let ms = group g in
+      Config.subsets_of_size ((List.length ms / 2) + 1) ms
+    in
+    let quorums =
+      Config.subsets_of_size ((groups / 2) + 1) (List.init groups Fun.id)
+      |> List.concat_map (fun gs ->
+             List.fold_left
+               (fun acc g ->
+                 List.concat_map
+                   (fun q -> List.map (fun m -> q @ m) (group_majorities g))
+                   acc)
+               [ [] ] gs)
+    in
+    Config.make ~read_quorums:quorums ~write_quorums:quorums
+  in
+  List.iter
+    (fun (groups, n) ->
+      push
+        (Fmt.str "tree-%d/%d" groups n)
+        { free with exp_ww = Some true; exp_minimal = Some true }
+        (tree ~groups n))
+    [ (3, 4); (3, 5); (3, 6); (3, 9) ];
   (* seeded samples of the random-generation space: same seeds, same
      configurations, every run *)
   for seed = 0 to 99 do

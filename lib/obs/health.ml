@@ -124,6 +124,42 @@ let sample t ~at =
   List.iter (fun f -> f snaps) (List.rev t.subs);
   snaps
 
+(* Like [snapshot_shard] but pure: scans past stale records instead of
+   popping them and touches no subscriber — a read-only probe. *)
+let peek_shard t ~at shard =
+  let cutoff = at -. t.hwindow in
+  let ops = ref 0 and reads = ref 0 and oks = ref 0 and lats = ref [] in
+  Queue.iter
+    (fun r ->
+      if r.r_at > cutoff then begin
+        incr ops;
+        if r.r_read then incr reads;
+        if r.r_ok then begin
+          incr oks;
+          lats := r.r_latency :: !lats
+        end
+      end)
+    t.shards.(shard);
+  let f = float_of_int in
+  let ops = !ops in
+  {
+    at;
+    shard;
+    window = t.hwindow;
+    ops;
+    rate = f ops /. t.hwindow;
+    read_fraction = (if ops = 0 then nan else f !reads /. f ops);
+    success_rate = (if ops = 0 then nan else f !oks /. f ops);
+    p99 = nearest_rank_p99 !lats;
+    queue_depth =
+      (match t.queue_depth with Some probe -> probe shard | None -> nan);
+  }
+
+(** One snapshot per shard like {!sample}, but with no side effects:
+    nothing pruned, no subscriber notified.  The read-only probe a
+    tuning inspector uses between sampling rounds. *)
+let peek t ~at = List.init t.n_shards (peek_shard t ~at)
+
 (* ---------- rendering ---------- *)
 
 let cell fmt v = if Float.is_nan v then "-" else Fmt.str fmt v

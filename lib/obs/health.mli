@@ -40,6 +40,11 @@ val sample : t -> at:float -> snapshot list
 (** One snapshot per shard (ascending), pruning records older than the
     window and notifying every subscriber in subscription order. *)
 
+val peek : t -> at:float -> snapshot list
+(** Like {!sample} but side-effect free: one snapshot per shard
+    without pruning the window or notifying subscribers.  What a
+    tuning inspector calls between sampling rounds. *)
+
 val subscribe : t -> (snapshot list -> unit) -> unit
 
 val render : snapshot list -> string

@@ -33,6 +33,18 @@ module Engine = Rpc.Engine
       availability at near-quorum message cost. *)
 type targeting = [ `Broadcast | `Quorum ]
 
+(** Live signals for queue-aware read steering, shared by every client
+    of a shard (so each one's EWMA sees all the shard's replies):
+    reply-latency tracker, apply-queue probe, and the steering cost
+    weight.  With [steer] off the tracker still learns — feeding the
+    optimizer's latency model — but targeting stays random. *)
+type probe = {
+  ewma : Tune.Ewma.t;
+  queue_depth : int -> float;
+  queue_weight : float;
+  steer : bool;
+}
+
 type phase =
   | PRead
   | PWrite_query of int  (** the value waiting to be installed *)
@@ -40,7 +52,15 @@ type phase =
 
 type pending = {
   key : string;
+  strategy : Strategy.t;
+      (** the strategy this operation was issued under.  Captured at
+          [start_op] so a concurrent re-strategize cannot change the
+          quorum predicate an in-flight op completes against — the
+          per-operation half of the epoch fence (DESIGN.md §16) *)
   mutable phase : phase;
+  mutable phase_started : float;
+      (** when the current phase's requests went out — the baseline
+          for per-replica reply-latency observations *)
   mutable rid : int;  (** current request id (changes at phase switch) *)
   mutable mask : int;  (** bitmask of replicas heard from this phase *)
   mutable best_vn : int;
@@ -62,6 +82,10 @@ type t = {
   eng : Protocol.msg Engine.t;
   replicas : string array;
   mutable strategy : Strategy.t;
+  mutable epoch : int;
+      (** strategy generation — bumped by [set_strategy] so observers
+          can tell which configuration an op was issued under *)
+  mutable probe : probe option;  (** steering signals, [None] = off *)
   timeout : float;
   read_repair : bool;
       (** when a read observes stale replicas among the replies, push
@@ -145,6 +169,8 @@ let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
     eng;
     replicas;
     strategy;
+    epoch = 0;
+    probe = None;
     timeout;
     read_repair;
     targeting;
@@ -162,6 +188,16 @@ let create ~name ~sim ~net ~replicas ~strategy ?(timeout = 100.0)
 
 let set_policy t p = Engine.set_policy t.eng p
 let policy t = Engine.policy t.eng
+
+(** Adopt a new strategy and bump the generation.  In-flight ops are
+    unaffected: each pending op captured its strategy at issue. *)
+let set_strategy t s =
+  t.strategy <- s;
+  t.epoch <- t.epoch + 1
+
+let epoch t = t.epoch
+let set_probe t pr = t.probe <- pr
+let probe t = t.probe
 
 let set_batch_window t w =
   Engine.set_batching t.eng
@@ -189,16 +225,17 @@ let replica_index t name =
   go 0
 
 (* Route per the targeting mode: all replicas (hedge pool empty), or
-   the members of one randomly chosen minimal quorum first with the
-   rest as the engine's hedge pool. *)
-let targets_for t ~side =
+   the members of one minimal quorum first with the rest as the
+   engine's hedge pool.  [strategy] is the issuing op's captured
+   strategy, not [t.strategy] — see [pending.strategy]. *)
+let targets_for t (strategy : Strategy.t) ~side =
   match t.targeting with
   | `Broadcast -> (Array.to_list t.replicas, None)
   | `Quorum ->
       let masks =
         match side with
-        | `Read -> Strategy.minimal_read_quorums t.strategy
-        | `Write -> Strategy.minimal_write_quorums t.strategy
+        | `Read -> Strategy.minimal_read_quorums strategy
+        | `Write -> Strategy.minimal_write_quorums strategy
       in
       (* a latency-greedy client prefers the smallest quorums (fewest
          replies to wait for), random among ties — this is what makes
@@ -210,7 +247,27 @@ let targets_for t ~side =
       let smallest =
         List.filter (fun q -> Strategy.popcount q = min_card) masks
       in
-      let mask = Prng.choose t.rng smallest in
+      let steered =
+        (* queue-aware steering replaces the random pick on the read
+           side only: reads are free to chase shallow queues, while
+           writes keep spreading installs (and the rng stays untouched
+           when a probe is absent, keeping default runs byte-equal) *)
+        match (t.probe, side) with
+        | Some pr, `Read when pr.steer ->
+            Tune.Steer.best
+              {
+                Tune.Steer.latency = Tune.Ewma.value pr.ewma;
+                queue = pr.queue_depth;
+                queue_weight = pr.queue_weight;
+              }
+              masks
+        | _ -> None
+      in
+      let mask =
+        match steered with
+        | Some m -> m
+        | None -> Prng.choose t.rng smallest
+      in
       let members = ref [] and others = ref [] in
       Array.iteri
         (fun i r ->
@@ -260,13 +317,24 @@ let finish t (p : pending) ~ok =
     p.on_done ~ok ~vn:p.best_vn ~value:p.best_value ~latency
   end
 
+(* Feed one reply's latency into the shard's steering tracker.  Every
+   counted reply teaches the EWMA, whether or not steering is on, so
+   the optimizer's latency model has data before any switch. *)
+let observe_latency t (p : pending) i =
+  match t.probe with
+  | None -> ()
+  | Some pr ->
+      Tune.Ewma.observe pr.ewma i (Core.now t.sim -. p.phase_started)
+
 (* The quorum protocol itself: accumulate replies into the replica
    mask, complete phases when the strategy says the mask is a quorum,
-   and switch a write from query to install under a fresh rid. *)
+   and switch a write from query to install under a fresh rid.  All
+   quorum checks consult [p.strategy], the op's captured strategy. *)
 let rec on_reply t (p : pending) ~src msg =
   match (msg, replica_index t src) with
   | Protocol.Query_rep { vn; value; key; _ }, Some i
     when String.equal key p.key -> (
+      observe_latency t p i;
       let bit = 1 lsl i in
       if p.mask land bit = 0 then begin
         p.mask <- p.mask lor bit;
@@ -278,23 +346,24 @@ let rec on_reply t (p : pending) ~src msg =
       end;
       match p.phase with
       | PRead ->
-          if t.strategy.Strategy.read_ok p.mask then begin
+          if p.strategy.Strategy.read_ok p.mask then begin
             finish t p ~ok:true;
             Engine.Done
           end
           else Engine.Continue
       | PWrite_query value ->
-          if t.strategy.Strategy.read_ok p.mask then begin
+          if p.strategy.Strategy.read_ok p.mask then begin
             start_install t p ~value;
             Engine.Done
           end
           else Engine.Continue
       | PInstall -> Engine.Continue)
   | Protocol.Install_ack { key; _ }, Some i when String.equal key p.key -> (
+      observe_latency t p i;
       match p.phase with
       | PInstall ->
           p.mask <- p.mask lor (1 lsl i);
-          if t.strategy.Strategy.write_ok p.mask then begin
+          if p.strategy.Strategy.write_ok p.mask then begin
             finish t p ~ok:true;
             Engine.Done
           end
@@ -312,6 +381,7 @@ and start_install t (p : pending) ~value =
       ~args:[ ("key", Obs.Trace.Str p.key); ("rid", Obs.Trace.Int rid) ]
       ();
   p.phase <- PInstall;
+  p.phase_started <- Core.now t.sim;
   p.rid <- rid;
   p.mask <- 0;
   let own =
@@ -325,7 +395,7 @@ and start_install t (p : pending) ~value =
       Protocol.Install_req { rid; key = p.key; vn; value; ctx = p.ctx })
 
 and gather t (p : pending) ~rid ~side make =
-  let targets, fanout = targets_for t ~side in
+  let targets, fanout = targets_for t p.strategy ~side in
   ignore
     (Engine.call t.eng ~op:p.op ~rid ~targets ?fanout ~make
        ~on_reply:(fun ~src msg -> on_reply t p ~src msg)
@@ -397,7 +467,9 @@ let start_op t ~key ~phase ~on_done =
   let p =
     {
       key;
+      strategy = t.strategy;
       phase;
+      phase_started = Core.now t.sim;
       rid;
       mask = 0;
       best_vn = 0;

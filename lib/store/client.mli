@@ -16,13 +16,29 @@ module Net = Sim.Net
     the fallback pool). *)
 type targeting = [ `Broadcast | `Quorum ]
 
+(** Live signals for queue-aware read steering, shared by every client
+    of a shard: per-replica reply-latency EWMA, apply-queue probe, and
+    the steering cost weight.  With [steer = false] the tracker still
+    learns from replies (feeding the optimizer's latency model) but
+    targeting stays random. *)
+type probe = {
+  ewma : Tune.Ewma.t;
+  queue_depth : int -> float;
+  queue_weight : float;
+  steer : bool;
+}
+
 type t = {
   name : string;
   sim : Core.t;
   net : Protocol.msg Net.t;
   eng : Protocol.msg Rpc.Engine.t;  (** the shared request engine *)
   replicas : string array;
-  mutable strategy : Strategy.t;  (** swappable (reconfiguration) *)
+  mutable strategy : Strategy.t;
+      (** swappable (reconfiguration) — prefer {!set_strategy}, which
+          also bumps the generation *)
+  mutable epoch : int;  (** strategy generation *)
+  mutable probe : probe option;  (** steering signals, [None] = off *)
   timeout : float;
   read_repair : bool;
       (** reads push the newest (version, value) back to stale
@@ -86,6 +102,25 @@ val create :
     spans link back to the originating operation and {!Obs.Query} /
     {!Obs.Attribution} can stitch the full causal tree.  Off, the
     emitted trace is byte-identical to historical runs. *)
+
+val set_strategy : t -> Strategy.t -> unit
+(** Adopt a new strategy and bump [epoch].  In-flight operations are
+    unaffected: each op captures its strategy at issue, so it keeps
+    completing against the quorum predicate it was sent under (the
+    per-operation epoch fence — see DESIGN.md §16 for when a switch
+    additionally needs a joint transition). *)
+
+val epoch : t -> int
+
+val set_probe : t -> probe option -> unit
+(** Install (or remove) the steering probe.  With a probe present,
+    every counted reply feeds the EWMA; with [steer] also true, reads
+    in [`Quorum] targeting pick the minimal read quorum minimizing the
+    freshness-weighted cost (see {!Tune.Steer}) instead of a random
+    smallest one.  The client's PRNG is not consulted on steered
+    picks, and is untouched whenever the probe is [None]. *)
+
+val probe : t -> probe option
 
 val set_policy : t -> Rpc.Policy.t -> unit
 (** Swap the retry/hedge policy; applies to operations issued after

@@ -103,6 +103,16 @@ type params = {
           results gain transaction counts plus the blocked
           (in-doubt) set.  [None] (default) changes nothing —
           byte-identical runs *)
+  tune : tune_spec option;
+      (** workload-aware quorum tuning: per-shard reply-latency EWMAs
+          and queue probes feed queue-aware read steering
+          ({!Client.probe}) and a periodic optimizer that
+          re-strategizes each shard through {!Autotune} (joint-
+          strategy transition + key migration — DESIGN.md §16).
+          [None] (default) changes nothing — byte-identical runs.
+          The optimizer half only runs on single-key workloads
+          ([txns = None]); steering applies wherever the shard
+          clients issue quorum-targeted reads *)
 }
 
 and txn_spec = {
@@ -115,6 +125,21 @@ and txn_spec = {
       (** re-executions of a failed transaction (each a fresh txid) *)
   recovery_delay : float;
       (** replica in-doubt recovery timer base (Paxos-Commit mode) *)
+}
+
+and tune_spec = {
+  optimize : bool;  (** run the periodic per-shard strategy optimizer *)
+  tune_epoch : float;  (** optimizer period (simulated time) *)
+  steer : bool;  (** queue-aware read steering on the shard clients *)
+  queue_weight : float;  (** steering cost per queued apply entry *)
+  ewma_alpha : float;  (** reply-latency tracker blend weight *)
+  p_alive : float;
+      (** assumed per-replica alive probability for the availability
+          floors of the optimizer's model *)
+  min_read_avail : float;  (** read-availability admission floor *)
+  min_write_avail : float;  (** write-availability admission floor *)
+  w_load : float;  (** objective weight on peak load *)
+  w_latency : float;  (** objective weight on expected op latency *)
 }
 
 let default_params =
@@ -145,6 +170,7 @@ let default_params =
     health_window = None;
     script = [];
     txns = None;
+    tune = None;
   }
 
 let default_txn_spec =
@@ -156,6 +182,20 @@ let default_txn_spec =
     txn_timeout = 400.0;
     txn_retries = 2;
     recovery_delay = 150.0;
+  }
+
+let default_tune_spec =
+  {
+    optimize = true;
+    tune_epoch = 40.0;
+    steer = true;
+    queue_weight = 2.0;
+    ewma_alpha = 0.2;
+    p_alive = 0.99;
+    min_read_avail = 0.99;
+    min_write_avail = 0.98;
+    w_load = 1.0;
+    w_latency = 0.05;
   }
 
 type shard_stat = {
@@ -205,6 +245,14 @@ type results = {
       (** txids still prepared-but-undecided at some replica when the
           run drained — in-doubt forever; the blocking-2PC metric *)
   decided_txns : int;  (** distinct committed decisions (≥ ok_txns) *)
+  tune_run : bool;  (** the run had quorum tuning enabled *)
+  strategy_switches : (float * int * string) list;
+      (** chronological [(committed_at, shard, strategy_name)] of
+          every re-strategize the optimizer completed (joint
+          transition + migration included) *)
+  shard_strategies : string list;
+      (** each shard's strategy name at the end of the run, in shard
+          order — the initial strategy when nothing switched *)
 }
 
 let availability r =
@@ -305,6 +353,10 @@ let run (p : params) : results =
   in
   let shard_ok = Array.make p.n_shards 0 in
   let shard_failed = Array.make p.n_shards 0 in
+  (* per-shard read/write attempt counts — the live mix estimate the
+     optimizer feeds on (cheap to keep unconditionally) *)
+  let shard_reads = Array.make p.n_shards 0 in
+  let shard_writes = Array.make p.n_shards 0 in
   (* audit state (the shared single-writer state machine) plus the
      completion log liveness predicates consume *)
   let audit = Harness.Check.audit () in
@@ -346,6 +398,7 @@ let run (p : params) : results =
     let started = Core.now sim in
     Router.read c ~key ~on_done:(fun ~ok ~vn ~value ~latency ->
         let s = shard_of key in
+        shard_reads.(s) <- shard_reads.(s) + 1;
         health_record ~shard:s ~read:true ~ok ~latency;
         if ok then begin
           incr ok_reads;
@@ -363,6 +416,7 @@ let run (p : params) : results =
   let run_write (c : Router.t) key v ~k =
     Router.write c ~key ~value:v ~on_done:(fun ~ok ~vn ~value:_ ~latency ->
         let s = shard_of key in
+        shard_writes.(s) <- shard_writes.(s) + 1;
         health_record ~shard:s ~read:false ~ok ~latency;
         if ok then begin
           incr ok_writes;
@@ -538,6 +592,155 @@ let run (p : params) : results =
       in
       if total > 0 then tick ()
   | None -> ());
+  (* workload-aware quorum tuning: shared per-shard latency trackers
+     and queue probes on every shard client (queue-aware read
+     steering), plus — on single-key workloads — a periodic optimizer
+     that re-strategizes shards through a joint-strategy transition
+     with key migration, then a deadline-length fence before the new
+     quorums activate (DESIGN.md §16) *)
+  let strategy_switches = ref [] in
+  (match p.tune with
+  | None -> ()
+  | Some spec ->
+      if
+        not
+          (Float.is_finite spec.tune_epoch
+          && Float.compare spec.tune_epoch 0.0 > 0)
+      then invalid_arg "Cluster.run: tune_epoch must be positive";
+      let ewmas =
+        Array.init p.n_shards (fun _ ->
+            Tune.Ewma.create ~n:p.n_replicas ~alpha:spec.ewma_alpha ())
+      in
+      List.iter
+        (fun (_, c) ->
+          for s = 0 to p.n_shards - 1 do
+            Router.set_probe c ~shard:s
+              (Some
+                 {
+                   Client.ewma = ewmas.(s);
+                   queue_depth =
+                     (fun i ->
+                       float_of_int (Replica.queue_depth replicas.(s).(i)));
+                   queue_weight = spec.queue_weight;
+                   steer = spec.steer;
+                 })
+          done)
+        clients;
+      match p.txns with
+      | Some _ -> () (* the optimizer drives single-key workloads only *)
+      | None ->
+          if spec.optimize && p.n_clients > 0 then begin
+            let config =
+              {
+                Tune.Model.w_load = spec.w_load;
+                w_latency = spec.w_latency;
+                min_read_availability = spec.min_read_avail;
+                min_write_availability = spec.min_write_avail;
+              }
+            in
+            let total = p.n_clients * p.workload.Workload.ops_per_client in
+            let completed () =
+              !ok_reads + !failed_reads + !ok_writes + !failed_writes
+            in
+            let all_keys =
+              List.init p.workload.Workload.n_keys Workload.key_name
+            in
+            let migrator = snd (List.hd clients) in
+            let transitioning = Array.make p.n_shards false in
+            let set_shard_strategy s st =
+              List.iter
+                (fun (_, c) -> Router.set_strategy c ~shard:s st)
+                clients
+            in
+            (* Re-strategize shard [s]: move every client to the joint
+               strategy (quorums of both old and new — reads still
+               cover data at rest, writes already land on new-strategy
+               quorums), migrate each of the shard's keys by reading
+               its newest version and re-installing it at a joint
+               write quorum, then — after the op deadline has fenced
+               out anything issued under the old strategy — commit the
+               new one.  Any migration failure aborts back to the old
+               strategy, which joint quorums also satisfy. *)
+            let begin_transition s next_s =
+              let current = strategies.(s) in
+              let j = Autotune.joint current next_s in
+              if Strategy.legal j then begin
+                transitioning.(s) <- true;
+                let started = Core.now sim in
+                set_shard_strategy s j;
+                let keys = List.filter (fun k -> shard_of k = s) all_keys in
+                let pending = ref (List.length keys) in
+                let failed = ref false in
+                let commit () =
+                  let fence = started +. p.timeout -. Core.now sim in
+                  Core.schedule sim ~delay:(Float.max 0.0 fence) (fun () ->
+                      set_shard_strategy s next_s;
+                      strategies.(s) <- next_s;
+                      strategy_switches :=
+                        (Core.now sim, s, next_s.Strategy.name)
+                        :: !strategy_switches;
+                      transitioning.(s) <- false)
+                in
+                let abort () =
+                  set_shard_strategy s current;
+                  transitioning.(s) <- false
+                in
+                let key_done () =
+                  decr pending;
+                  if !pending = 0 then if !failed then abort () else commit ()
+                in
+                if keys = [] then commit ()
+                else
+                  List.iter
+                    (fun key ->
+                      Router.read migrator ~key
+                        ~on_done:(fun ~ok ~vn ~value ~latency:_ ->
+                          if not ok then begin
+                            failed := true;
+                            key_done ()
+                          end
+                          else if vn = 0 then key_done ()
+                          else
+                            Router.install migrator ~key ~vn ~value
+                              ~on_done:(fun ~ok ~vn:_ ~value:_ ~latency:_ ->
+                                if not ok then failed := true;
+                                key_done ())))
+                    keys
+              end
+            in
+            let rec tick () =
+              Core.schedule sim ~delay:spec.tune_epoch (fun () ->
+                  if completed () < total then begin
+                    for s = 0 to p.n_shards - 1 do
+                      if not transitioning.(s) then begin
+                        let reads = shard_reads.(s)
+                        and writes = shard_writes.(s) in
+                        let f =
+                          if reads + writes = 0 then
+                            p.workload.Workload.read_fraction
+                          else
+                            float_of_int reads /. float_of_int (reads + writes)
+                        in
+                        match
+                          Autotune.choose ~config ~read_fraction:f
+                            ~p_alive:spec.p_alive
+                            ~lat:(Tune.Ewma.value ewmas.(s))
+                            p.n_replicas
+                        with
+                        | Some { Autotune.strategy = next_s; _ }
+                          when Strategy.legal next_s
+                               && not
+                                    (String.equal next_s.Strategy.name
+                                       strategies.(s).Strategy.name) ->
+                            begin_transition s next_s
+                        | _ -> ()
+                      end
+                    done;
+                    tick ()
+                  end)
+            in
+            if total > 0 then tick ()
+          end);
   (* fault injection: the legacy knobs compile onto the script DSL (in
      the order the inline nemesis code installed them — failures,
      partitions, shard kill — which byte-identical replay depends on)
@@ -621,6 +824,11 @@ let run (p : params) : results =
     txn_latency = Sim.Stats.summarize txn_lat;
     blocked_txns = blocked;
     decided_txns = Harness.Check.txn_decided_count txn_audit;
+    tune_run = p.tune <> None;
+    strategy_switches = List.rev !strategy_switches;
+    shard_strategies =
+      Array.to_list
+        (Array.map (fun (s : Strategy.t) -> s.Strategy.name) strategies);
   }
 
 (** A stable digest of the run's simulation outcome — every
@@ -658,5 +866,14 @@ let digest (r : results) : string =
     add ";txns %d %d %d;" r.ok_txns r.failed_txns r.decided_txns;
     summary r.txn_latency;
     List.iter (fun txid -> add "blocked %s;" txid) r.blocked_txns
+  end;
+  (* likewise, the tune section exists only when tuning was enabled *)
+  if r.tune_run then begin
+    add ";tune";
+    List.iteri (fun s name -> add " %d:%s" s name) r.shard_strategies;
+    add ";";
+    List.iter
+      (fun (at, s, name) -> add "switch %h %d %s;" at s name)
+      r.strategy_switches
   end;
   Digest.to_hex (Digest.string (Buffer.contents b))

@@ -75,6 +75,14 @@ type params = {
           coordinators instead of the single-key op loop; the audit
           switches to the multi-key serializability checks ([None] =
           off, byte-identical runs) *)
+  tune : tune_spec option;
+      (** workload-aware quorum tuning: per-shard reply-latency EWMAs
+          + queue probes feed queue-aware read steering, and a
+          periodic optimizer re-strategizes shards through
+          {!Autotune} — joint-strategy transition, key migration, and
+          a deadline-length fence before the new quorums activate
+          (DESIGN.md §16).  The optimizer half runs on single-key
+          workloads only.  [None] = off, byte-identical runs *)
 }
 
 and txn_spec = {
@@ -89,11 +97,31 @@ and txn_spec = {
       (** replica in-doubt recovery timer base (Paxos-Commit mode) *)
 }
 
+and tune_spec = {
+  optimize : bool;  (** run the periodic per-shard strategy optimizer *)
+  tune_epoch : float;  (** optimizer period (simulated time) *)
+  steer : bool;  (** queue-aware read steering on the shard clients *)
+  queue_weight : float;  (** steering cost per queued apply entry *)
+  ewma_alpha : float;  (** reply-latency tracker blend weight *)
+  p_alive : float;
+      (** assumed per-replica alive probability for the availability
+          floors of the optimizer's model *)
+  min_read_avail : float;  (** read-availability admission floor *)
+  min_write_avail : float;  (** write-availability admission floor *)
+  w_load : float;  (** objective weight on peak load *)
+  w_latency : float;  (** objective weight on expected op latency *)
+}
+
 val default_params : params
 
 val default_txn_spec : txn_spec
 (** 20 txns/client, 3 keys each, ~1/3 read-only, [`Paxos], timeout
     400, 2 retries, recovery base 150. *)
+
+val default_tune_spec : tune_spec
+(** Optimizer on at epoch 40, steering on at queue weight 2, EWMA
+    alpha 0.2, availability floors 0.99/0.98 at assumed p = 0.99,
+    objective weights 1.0 load / 0.05 latency. *)
 
 type shard_stat = {
   shard : int;
@@ -138,6 +166,13 @@ type results = {
           run drained — the blocking-2PC metric ([= []] under Paxos
           Commit once partitions heal) *)
   decided_txns : int;  (** distinct committed decisions (≥ ok_txns) *)
+  tune_run : bool;  (** the run had quorum tuning enabled *)
+  strategy_switches : (float * int * string) list;
+      (** chronological [(committed_at, shard, strategy_name)] of
+          every completed re-strategize *)
+  shard_strategies : string list;
+      (** each shard's strategy name at the end of the run, in shard
+          order *)
 }
 
 val availability : results -> float

@@ -1042,3 +1042,113 @@ let attribution_table ?(seed = 42) () : attr_row list =
           })
         [ ("burst=1", 1); ("burst=8", 8) ])
     [ ("loss=0%", 0.0); ("loss=30%", 0.3) ]
+
+(** {1 Ablation — workload-aware quorum tuning}
+
+    The optimizer + steering ablation behind [tables.exe tune]: a
+    skewed (90/10) and a balanced (50/50) read mix, in a uniform
+    cluster and in one where replica r4 is slow on every link, across
+    four modes — static majority (the baseline), the optimizer alone,
+    optimizer + queue-aware steering, and steering alone under static
+    majority (the slow-replica isolation).  Quorum targeting with the
+    default fire-once policy, so the chosen quorum's members are the
+    ops' whole fate — exactly the regime the model scores. *)
+
+type tune_row = {
+  t_mix : string;  (** "90/10" or "50/50" *)
+  t_env : string;  (** "uniform" or "slow-r4" *)
+  t_mode : string;
+      (** "majority", "optimized", "optimized+steer", "majority+steer" *)
+  t_strategy : string;  (** the shard's final strategy (base seed) *)
+  t_switches : int;  (** committed re-strategizes (base seed) *)
+  t_ok_ops : int;  (** summed over the seeds *)
+  t_failed_ops : int;
+  t_throughput : float;  (** ok ops per time unit, mean over seeds *)
+  t_read_mean : float;  (** mean over seeds of the read-latency mean *)
+  t_read_p99 : float;  (** mean over seeds of the read-latency p99 *)
+  t_audit_clean : bool;  (** every seed's audit clean *)
+}
+
+let tune_mixes = [ ("90/10", 0.9); ("50/50", 0.5) ]
+
+let tune_modes =
+  [ "majority"; "optimized"; "optimized+steer"; "majority+steer" ]
+
+let tune_spec_of_mode = function
+  | "majority" -> None
+  | "optimized" -> Some { Cluster.default_tune_spec with steer = false }
+  | "optimized+steer" -> Some Cluster.default_tune_spec
+  | "majority+steer" ->
+      Some { Cluster.default_tune_spec with optimize = false }
+  | mode -> invalid_arg (Fmt.str "tune_spec_of_mode: %s" mode)
+
+let tune_table ?(seed = 42) ?(seeds = 3) () : tune_row list =
+  let base_latency = Net.lognormal_latency ~mu:1.0 ~sigma:0.5 in
+  (* one slow replica: every link touching r4 pays a constant on top
+     of the base draw (same rng consumption, so runs stay comparable) *)
+  let slow_latency : Net.latency =
+   fun rng ~src ~dst ->
+    let l = base_latency rng ~src ~dst in
+    if String.equal src "r4" || String.equal dst "r4" then l +. 4.0 else l
+  in
+  let run_one ~f ~slow ~mode s =
+    Cluster.run
+      {
+        Cluster.default_params with
+        n_replicas = 5;
+        n_clients = 4;
+        targeting = `Quorum;
+        latency = (if slow then slow_latency else base_latency);
+        workload =
+          {
+            Workload.default_spec with
+            ops_per_client = 150;
+            read_fraction = f;
+            think_time = 2.0;
+          };
+        tune = tune_spec_of_mode mode;
+        seed = s;
+      }
+  in
+  List.concat_map
+    (fun (t_env, slow) ->
+      List.concat_map
+        (fun (t_mix, f) ->
+          List.map
+            (fun t_mode ->
+              let rs =
+                List.init (max 1 seeds) (fun i ->
+                    run_one ~f ~slow ~mode:t_mode (seed + (31 * i)))
+              in
+              let base = List.hd rs in
+              let mean g =
+                List.fold_left (fun acc r -> acc +. g r) 0.0 rs
+                /. float_of_int (List.length rs)
+              in
+              let sum g = List.fold_left (fun acc r -> acc + g r) 0 rs in
+              {
+                t_mix;
+                t_env;
+                t_mode;
+                t_strategy =
+                  (match base.Cluster.shard_strategies with
+                  | s :: _ -> s
+                  | [] -> "?");
+                t_switches = List.length base.Cluster.strategy_switches;
+                t_ok_ops =
+                  sum (fun r -> r.Cluster.ok_reads + r.Cluster.ok_writes);
+                t_failed_ops =
+                  sum (fun r ->
+                      r.Cluster.failed_reads + r.Cluster.failed_writes);
+                t_throughput =
+                  mean (fun r ->
+                      float_of_int (r.Cluster.ok_reads + r.Cluster.ok_writes)
+                      /. r.Cluster.duration);
+                t_read_mean = mean (fun r -> r.Cluster.reads.Sim.Stats.mean);
+                t_read_p99 = mean (fun r -> r.Cluster.reads.Sim.Stats.p99);
+                t_audit_clean =
+                  List.for_all (fun r -> r.Cluster.audit_violations = []) rs;
+              })
+            tune_modes)
+        tune_mixes)
+    [ ("uniform", false); ("slow-r4", true) ]

@@ -225,3 +225,32 @@ val attribution_table : ?seed:int -> unit -> attr_row list
     batch window, and storage costs — each knob's latency cost lands
     in its own phase (backoff under loss, batch-wait and fsync under
     bursts) and every row's phases sum to its wall mean. *)
+
+type tune_row = {
+  t_mix : string;  (** "90/10" or "50/50" *)
+  t_env : string;  (** "uniform" or "slow-r4" *)
+  t_mode : string;
+      (** "majority", "optimized", "optimized+steer", "majority+steer" *)
+  t_strategy : string;  (** the shard's final strategy (base seed) *)
+  t_switches : int;  (** committed re-strategizes (base seed) *)
+  t_ok_ops : int;  (** summed over the seeds *)
+  t_failed_ops : int;
+  t_throughput : float;  (** ok ops per time unit, mean over seeds *)
+  t_read_mean : float;  (** mean over seeds of the read-latency mean *)
+  t_read_p99 : float;  (** mean over seeds of the read-latency p99 *)
+  t_audit_clean : bool;  (** every seed's audit clean *)
+}
+
+val tune_mixes : (string * float) list
+val tune_modes : string list
+
+val tune_spec_of_mode : string -> Cluster.tune_spec option
+(** The cluster tuning spec a mode name denotes ([None] = static
+    majority baseline). @raise Invalid_argument on an unknown mode. *)
+
+val tune_table : ?seed:int -> ?seeds:int -> unit -> tune_row list
+(** Ablation: the workload-aware optimizer and queue-aware read
+    steering vs. static majority, across read mixes (90/10, 50/50)
+    and environments (uniform, one slow replica), averaged over
+    [seeds] consecutive seeds.  Quorum targeting, fire-once policy —
+    the regime the analytic model scores. *)

@@ -163,5 +163,8 @@ let set_adaptive_window t cfg =
 
 let adaptive_window t = Client.adaptive_window t.shards.(0)
 
-let set_strategy t ~shard s = t.shards.(shard).Client.strategy <- s
+let set_strategy t ~shard s = Client.set_strategy t.shards.(shard) s
 let strategy t ~shard = t.shards.(shard).Client.strategy
+let epoch t ~shard = Client.epoch t.shards.(shard)
+
+let set_probe t ~shard pr = Client.set_probe t.shards.(shard) pr

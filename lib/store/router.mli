@@ -103,6 +103,16 @@ val adaptive_window : t -> Rpc.Window.t option
 (** Shard 0's live controller, if one is installed. *)
 
 val set_strategy : t -> shard:int -> Strategy.t -> unit
+(** Adopt a new strategy on the shard's client and bump its epoch;
+    in-flight ops finish under the strategy they were issued with
+    (see {!Client.set_strategy}). *)
 
 val strategy : t -> shard:int -> Strategy.t
 (** The shard's current quorum strategy. *)
+
+val epoch : t -> shard:int -> int
+(** The shard's strategy generation. *)
+
+val set_probe : t -> shard:int -> Client.probe option -> unit
+(** Install (or remove) the shard client's steering probe (see
+    {!Client.set_probe}). *)

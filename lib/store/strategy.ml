@@ -107,6 +107,32 @@ let grid ~rows ~cols =
     ~n ~read_ok:some_full_row
     ~write_ok:(fun m -> some_full_row m && covers_all_rows m)
 
+(** Two-level hierarchical ("tree") quorums after Kumar: the replicas
+    split into [groups] contiguous subtrees, and a quorum is a
+    majority of subtrees each represented by a majority of its
+    members.  Any two quorums share a subtree, and inside it two
+    majorities intersect — so the family is legal with read = write,
+    at quorums of ~[n^0.63] for ternary trees vs. [n/2 + 1] for flat
+    majority (e.g. 4 of 9 instead of 5 of 9). *)
+let tree ?(groups = 3) n =
+  if groups < 1 || groups > n then
+    invalid_arg "Strategy.tree: groups must be in [1, n]";
+  let lo g = g * n / groups in
+  let hi g = (g + 1) * n / groups in
+  let group_ok m g =
+    let size = hi g - lo g in
+    let members = (m lsr lo g) land full size in
+    popcount members >= (size / 2) + 1
+  in
+  let ok m =
+    let represented = ref 0 in
+    for g = 0 to groups - 1 do
+      if group_ok m g then incr represented
+    done;
+    !represented >= (groups / 2) + 1
+  in
+  make ~name:(Fmt.str "tree-%d/%d" groups n) ~n ~read_ok:ok ~write_ok:ok
+
 (** Non-replicated baseline: everything on replica 0. *)
 let primary n =
   make ~name:"primary-copy" ~n

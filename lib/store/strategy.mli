@@ -29,6 +29,13 @@ val weighted : name:string -> votes:int array -> r:int -> w:int -> t
 val grid : rows:int -> cols:int -> t
 (** Read = one full row; write = one full row + one per row. *)
 
+val tree : ?groups:int -> int -> t
+(** Two-level hierarchical (Kumar) quorums: a majority of [groups]
+    contiguous subtrees, each represented by a within-subtree
+    majority; read = write.  Quorums of ~[n^0.63] vs. majority's
+    [n/2 + 1] (e.g. 4 of 9).  [groups] defaults to 3.
+    @raise Invalid_argument unless [1 <= groups <= n]. *)
+
 val primary : int -> t
 (** Non-replicated baseline (everything on replica 0). *)
 

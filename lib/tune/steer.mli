@@ -1,0 +1,20 @@
+(** Queue-aware read steering: pick, among a strategy's minimal read
+    quorums, the one whose slowest member looks cheapest right now.
+    Fully deterministic — ties break by cardinality then lowest mask,
+    never by PRNG. *)
+
+type stats = {
+  latency : int -> float;  (** recent reply latency per replica *)
+  queue : int -> float;  (** live apply-queue depth per replica *)
+  queue_weight : float;  (** cost units per queued entry *)
+}
+
+val replica_cost : stats -> int -> float
+(** [latency i + queue_weight * queue i]. *)
+
+val cost : stats -> int -> float
+(** Max of [replica_cost] over the mask's members — a quorum is as
+    fast as its slowest reply. *)
+
+val best : stats -> int list -> int option
+(** The cheapest mask ([None] on an empty list). *)

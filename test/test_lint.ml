@@ -131,7 +131,7 @@ let test_quorum_checker_runs () =
   match Qcheck.run () with
   | Error s -> Alcotest.failf "violations:@ %a" Qcheck.pp_summary s
   | Ok s ->
-      Alcotest.(check int) "catalog size" 127 s.Qcheck.checked;
+      Alcotest.(check int) "catalog size" 131 s.Qcheck.checked;
       Alcotest.(check (list string)) "no violations" [] s.Qcheck.violations;
       List.iter
         (fun v ->
