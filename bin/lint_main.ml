@@ -1,7 +1,21 @@
-(* Determinism lint + static quorum checker, CI-gated.
+(* Determinism lint + static quorum checker + whole-program analyzer,
+   CI-gated.
 
-     lint.exe [--json FILE] PATH...     lint every .ml under PATHs
-     lint.exe quorum [--json FILE]      static quorum-intersection check
+     lint.exe [OPTS] PATH...     lint every .ml under PATHs (parse trees)
+     lint.exe quorum [--json FILE]
+                                 static quorum-intersection check
+     lint.exe analyze [OPTS]     whole-program passes over typedtrees
+                                 (effect taint, handler totality,
+                                 lock-order discipline)
+
+   Options:
+     --json FILE      also write the findings as JSON
+     --only RULE      keep only findings of RULE (repeatable)
+     --exclude RULE   drop findings of RULE (repeatable)
+     --build DIR      analyze: build dir holding .cmt files
+                      (default _build/default)
+     --src PREFIX     analyze: only units whose source path starts with
+                      PREFIX (repeatable; default lib/)
 
    Exit codes: 0 clean, 1 findings/violations, 2 usage or I/O error.
 
@@ -10,12 +24,16 @@
    comparison) plus pragma hygiene; the quorum subcommand verifies
    read/write and write/write intersection, minimality and
    non-domination for every shipped configuration family without
-   running the simulator.  See DESIGN.md section 12. *)
+   running the simulator; the analyze subcommand reads the typedtrees
+   dune already produced and proves the interprocedural protocol
+   invariants.  See DESIGN.md sections 12 and 17. *)
 
 let usage () =
   Fmt.epr
-    "usage: lint.exe [--json FILE] PATH...@.       lint.exe quorum [--json \
-     FILE]@.";
+    "usage: lint.exe [--json FILE] [--only RULE] [--exclude RULE] PATH...@.\
+    \       lint.exe quorum [--json FILE]@.\
+    \       lint.exe analyze [--json FILE] [--build DIR] [--src PREFIX] \
+     [--only RULE] [--exclude RULE]@.";
   exit 2
 
 let write_file path contents =
@@ -24,15 +42,75 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
-(* --json FILE anywhere in the argument list; the rest are operands *)
-let split_json args =
-  let rec go json rev = function
-    | [] -> (json, List.rev rev)
-    | "--json" :: file :: rest -> go (Some file) rev rest
-    | [ "--json" ] -> usage ()
-    | a :: rest -> go json (a :: rev) rest
+type opts = {
+  json : string option;
+  only : string list;
+  exclude : string list;
+  build : string;
+  srcs : string list;  (** reversed; empty means default *)
+  operands : string list;
+}
+
+(* options anywhere in the argument list; the rest are operands *)
+let parse_opts args =
+  let rec go o = function
+    | [] -> { o with only = List.rev o.only; exclude = List.rev o.exclude;
+              operands = List.rev o.operands }
+    | "--json" :: file :: rest -> go { o with json = Some file } rest
+    | "--only" :: rule :: rest -> go { o with only = rule :: o.only } rest
+    | "--exclude" :: rule :: rest ->
+        go { o with exclude = rule :: o.exclude } rest
+    | "--build" :: dir :: rest -> go { o with build = dir } rest
+    | "--src" :: prefix :: rest -> go { o with srcs = prefix :: o.srcs } rest
+    | [ ("--json" | "--only" | "--exclude" | "--build" | "--src") ] ->
+        usage ()
+    | a :: rest -> go { o with operands = a :: o.operands } rest
   in
-  go None [] args
+  go
+    { json = None; only = []; exclude = []; build = "_build/default";
+      srcs = []; operands = [] }
+    args
+
+(* every rule id either mode can emit — a typo'd --only RULE is a
+   usage error, not a silently-empty report *)
+let known_rules =
+  [
+    Lint.Rules.rule_effect;
+    Lint.Rules.rule_hashtbl;
+    Lint.Rules.rule_float;
+    Lint.Rules.rule_parse;
+    Lint.Rules.rule_unknown_pragma;
+    Lint.Rules.rule_unused_pragma;
+  ]
+  @ Lint.Analyze.all_rules
+
+let check_rules names =
+  List.iter
+    (fun r ->
+      if not (List.mem r known_rules) then begin
+        Fmt.epr "lint: unknown rule %S (known: %s)@." r
+          (String.concat ", " known_rules);
+        exit 2
+      end)
+    names
+
+let filter_findings ~only ~exclude findings =
+  List.filter
+    (fun (f : Lint.Report.finding) ->
+      (only = [] || List.mem f.rule only) && not (List.mem f.rule exclude))
+    findings
+
+let report ~json ~label findings =
+  Option.iter (fun file -> write_file file (Lint.Report.to_json findings)) json;
+  if findings = [] then begin
+    Fmt.pr "lint: clean (%s)@." label;
+    exit 0
+  end
+  else begin
+    Fmt.pr "%s@." (Lint.Report.to_text findings);
+    Fmt.pr "lint: %d finding(s)@." (List.length findings);
+    exit 1
+  end
 
 let run_quorum json =
   let summary =
@@ -44,27 +122,42 @@ let run_quorum json =
     json;
   exit (if summary.Lint.Quorum_check.violations = [] then 0 else 1)
 
-let run_lint json paths =
-  match Lint.Rules.lint_paths paths with
+let run_lint o =
+  check_rules (o.only @ o.exclude);
+  match Lint.Rules.lint_paths o.operands with
   | Error e ->
       Fmt.epr "lint: %s@." e;
       exit 2
   | Ok findings ->
-      Option.iter
-        (fun file -> write_file file (Lint.Report.to_json findings))
-        json;
-      if findings = [] then begin
-        Fmt.pr "lint: clean (%s)@." (String.concat " " paths);
-        exit 0
-      end
-      else begin
-        Fmt.pr "%s@." (Lint.Report.to_text findings);
-        Fmt.pr "lint: %d finding(s)@." (List.length findings);
-        exit 1
-      end
+      let findings = filter_findings ~only:o.only ~exclude:o.exclude findings in
+      report ~json:o.json ~label:(String.concat " " o.operands) findings
+
+let run_analyze o =
+  check_rules (o.only @ o.exclude);
+  if o.operands <> [] then usage ();
+  let src_prefixes =
+    match o.srcs with [] -> [ "lib/" ] | l -> List.rev l
+  in
+  match
+    Lint.Analyze.run ~only:o.only ~exclude:o.exclude ~build_dir:o.build
+      ~src_prefixes ()
+  with
+  | Error e ->
+      Fmt.epr "lint: %s@." e;
+      exit 2
+  | Ok findings ->
+      report ~json:o.json
+        ~label:(Fmt.str "analyze %s" (String.concat " " src_prefixes))
+        findings
 
 let () =
-  match split_json (List.tl (Array.to_list Sys.argv)) with
-  | json, [ "quorum" ] -> run_quorum json
-  | _, [] -> usage ()
-  | json, paths -> run_lint json paths
+  match List.tl (Array.to_list Sys.argv) with
+  | "quorum" :: rest -> (
+      match parse_opts rest with
+      | { operands = []; only = []; exclude = []; json; _ } -> run_quorum json
+      | _ -> usage ())
+  | "analyze" :: rest -> run_analyze (parse_opts rest)
+  | args -> (
+      match parse_opts args with
+      | { operands = []; _ } -> usage ()
+      | o -> run_lint o)

@@ -1,0 +1,298 @@
+(** Whole-program call graph over the analyzed units.
+
+    Nodes are the structure-level value bindings of every unit
+    (including bindings inside nested [module M = struct .. end]
+    blocks); everything evaluated inside a binding's expression —
+    however many closures deep — is attributed to that binding, which
+    is exactly the granularity the taint pass needs to report "this
+    function transitively reaches [Random.int]".
+
+    Edges are identifier uses, resolved by {!Shape.Uid.t}: a use whose
+    uid points at a structure-level binding of an analyzed unit is an
+    internal edge; every other dotted use is recorded as an external
+    reference (with its use-site location), which the taint pass
+    classifies against the banned-effect list.  Uids see through
+    module aliases and library wrapping, so [module E = Rpc.Engine]
+    costs nothing in precision.
+
+    Known imprecision, by construction: first-class functions passed
+    as values are edges to where they are {e mentioned}, not to every
+    call site that later invokes them — for reachability ("does this
+    code ever mention the effect?") mentioning is the right question. *)
+
+type node = {
+  n_unit : string;  (** owning compilation unit *)
+  n_name : string;  (** binding path within the unit, e.g. ["M.helper"] *)
+  n_source : string;  (** source file of the unit *)
+  n_line : int;
+  n_col : int;
+  mutable n_calls : string list;  (** callees, as node keys, dedup'd *)
+  mutable n_ext : (string * int * int) list;
+      (** external refs: (display path, line, col) at the use site *)
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;  (** key -> node *)
+  mutable order : string list;  (** keys in deterministic definition order *)
+}
+
+let key ~unit_ ~name = unit_ ^ "." ^ name
+
+let node t k = Hashtbl.find_opt t.nodes k
+
+let nodes_in_order t = List.filter_map (node t) t.order
+
+(* pattern variables of a binding pattern, in source order *)
+let rec pat_vars : type k. k Typedtree.general_pattern -> (Ident.t * Location.t) list =
+ fun p ->
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_var (id, s) -> [ (id, s.Location.loc) ]
+  | Typedtree.Tpat_alias (inner, id, s) -> (id, s.Location.loc) :: pat_vars inner
+  | Typedtree.Tpat_tuple ps | Typedtree.Tpat_construct (_, _, ps, _) ->
+      List.concat_map pat_vars ps
+  | Typedtree.Tpat_record (fields, _) ->
+      List.concat_map (fun (_, _, p) -> pat_vars p) fields
+  | Typedtree.Tpat_variant (_, Some p, _) -> pat_vars p
+  | Typedtree.Tpat_or (a, b, _) -> pat_vars a @ pat_vars b
+  | Typedtree.Tpat_value v -> pat_vars (v :> Typedtree.pattern)
+  | Typedtree.Tpat_lazy p -> pat_vars p
+  | _ -> []
+
+(* The builder walks each unit twice: pass one registers every
+   structure-level binding (so intra- and inter-unit edges resolve no
+   matter the definition order), pass two walks binding bodies and
+   records uses. *)
+
+type builder = {
+  graph : t;
+  ids : (string, (Ident.t * string) list) Hashtbl.t;
+      (** per unit: structure-level binding idents -> node key (uids
+          of local [let]s inside bodies share the unit name, so edges
+          within a unit resolve by ident stamp, not by uid) *)
+}
+
+let register_bindings b ~(u : Typed.unit_info) =
+  let rec walk_structure prefix (str : Typedtree.structure) =
+    List.iter (walk_item prefix) str.Typedtree.str_items
+  and walk_item prefix (item : Typedtree.structure_item) =
+    match item.Typedtree.str_desc with
+    | Typedtree.Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            match pat_vars vb.Typedtree.vb_pat with
+            | [] -> ()
+            | vars ->
+                (* one node per binding, named after its first variable;
+                   extra pattern variables alias to the same node *)
+                let name =
+                  String.concat "."
+                    (List.rev (Ident.name (fst (List.hd vars)) :: prefix))
+                in
+                let k = key ~unit_:u.Typed.u_name ~name in
+                let loc = snd (List.hd vars) in
+                if not (Hashtbl.mem b.graph.nodes k) then begin
+                  Hashtbl.add b.graph.nodes k
+                    {
+                      n_unit = u.Typed.u_name;
+                      n_name = name;
+                      n_source = u.Typed.u_source;
+                      n_line = Typed.line_of loc;
+                      n_col = Typed.col_of loc;
+                      n_calls = [];
+                      n_ext = [];
+                    };
+                  b.graph.order <- k :: b.graph.order
+                end;
+                List.iter
+                  (fun (id, _) ->
+                    Hashtbl.replace b.ids u.Typed.u_name
+                      ((id, k)
+                      :: (match Hashtbl.find_opt b.ids u.Typed.u_name with
+                         | Some l -> l
+                         | None -> [])))
+                  vars)
+          vbs
+    | Typedtree.Tstr_module mb -> walk_module prefix mb.Typedtree.mb_id mb.Typedtree.mb_expr
+    | Typedtree.Tstr_recmodule mbs ->
+        List.iter
+          (fun (mb : Typedtree.module_binding) ->
+            walk_module prefix mb.Typedtree.mb_id mb.Typedtree.mb_expr)
+          mbs
+    | Typedtree.Tstr_include incl -> walk_module_expr prefix incl.Typedtree.incl_mod
+    | _ -> ()
+  and walk_module prefix id mexpr =
+    let sub =
+      match id with Some i -> Ident.name i :: prefix | None -> prefix
+    in
+    walk_module_expr sub mexpr
+  and walk_module_expr prefix (me : Typedtree.module_expr) =
+    match me.Typedtree.mod_desc with
+    | Typedtree.Tmod_structure str -> walk_structure prefix str
+    | Typedtree.Tmod_constraint (me, _, _, _) -> walk_module_expr prefix me
+    | Typedtree.Tmod_functor (_, me) -> walk_module_expr prefix me
+    | _ -> ()
+  in
+  walk_structure [] u.Typed.u_structure
+
+(* Pass two: record uses.  Everything inside a structure-level
+   binding's expression belongs to that binding's node. *)
+let record_uses b ~(u : Typed.unit_info) =
+  let unit_ids =
+    match Hashtbl.find_opt b.ids u.Typed.u_name with Some l -> l | None -> []
+  in
+  let lookup_local id =
+    List.find_opt (fun (i, _) -> Ident.same i id) unit_ids
+  in
+  let current = ref None in
+  let add_call k =
+    match !current with
+    | Some (n : node) when not (List.mem k n.n_calls) && k <> key ~unit_:n.n_unit ~name:n.n_name ->
+        n.n_calls <- k :: n.n_calls
+    | _ -> ()
+  in
+  let add_ext display loc =
+    match !current with
+    | Some (n : node) ->
+        n.n_ext <- (display, Typed.line_of loc, Typed.col_of loc) :: n.n_ext
+    | None -> ()
+  in
+  let use path (vd : Types.value_description) loc =
+    match path with
+    | Path.Pident id -> (
+        (* same-unit reference: resolve by ident stamp so local [let]s
+           (which share the unit's uid namespace) never alias a
+           structure-level binding of the same name *)
+        match lookup_local id with
+        | Some (_, k) -> add_call k
+        | None -> () (* a function parameter or body-local binding *))
+    | _ -> (
+        let name = Path.last path in
+        match Typed.uid_unit vd.Types.val_uid with
+        | Some cu when Hashtbl.mem b.ids cu -> (
+            (* an analyzed unit: edge onto its structure-level binding
+               when one matches; module-path prefixes inside the unit
+               are searched by suffix *)
+            let candidates =
+              match Hashtbl.find_opt b.ids cu with Some l -> l | None -> []
+            in
+            match
+              List.find_opt
+                (fun (i, _) -> String.equal (Ident.name i) name)
+                candidates
+            with
+            | Some (_, k) -> add_call k
+            | None -> add_ext (Path.name path) loc)
+        | Some _ | None -> add_ext (Path.name path) loc)
+  in
+  let expr_iter =
+    let expr (self : Tast_iterator.iterator) (e : Typedtree.expression) =
+      (match e.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (p, _, vd) -> use p vd e.Typedtree.exp_loc
+      | _ -> ());
+      Tast_iterator.default_iterator.expr self e
+    in
+    { Tast_iterator.default_iterator with expr }
+  in
+  let rec walk_structure prefix (str : Typedtree.structure) =
+    List.iter (walk_item prefix) str.Typedtree.str_items
+  and walk_item prefix (item : Typedtree.structure_item) =
+    match item.Typedtree.str_desc with
+    | Typedtree.Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            match pat_vars vb.Typedtree.vb_pat with
+            | [] -> ()
+            | (id0, _) :: _ ->
+                let name =
+                  String.concat "." (List.rev (Ident.name id0 :: prefix))
+                in
+                let k = key ~unit_:u.Typed.u_name ~name in
+                current := node b.graph k;
+                expr_iter.Tast_iterator.expr expr_iter vb.Typedtree.vb_expr;
+                current := None)
+          vbs
+    | Typedtree.Tstr_module mb ->
+        let sub =
+          match mb.Typedtree.mb_id with
+          | Some i -> Ident.name i :: prefix
+          | None -> prefix
+        in
+        walk_module_expr sub mb.Typedtree.mb_expr
+    | Typedtree.Tstr_recmodule mbs ->
+        List.iter
+          (fun (mb : Typedtree.module_binding) ->
+            let sub =
+              match mb.Typedtree.mb_id with
+              | Some i -> Ident.name i :: prefix
+              | None -> prefix
+            in
+            walk_module_expr sub mb.Typedtree.mb_expr)
+          mbs
+    | Typedtree.Tstr_include incl -> walk_module_expr prefix incl.Typedtree.incl_mod
+    | Typedtree.Tstr_eval (e, _) ->
+        (* top-level effects outside any binding: attribute to a
+           per-unit pseudo-node so a stray [let () = Random.self_init]
+           cannot hide in an eval item *)
+        let name = "(toplevel)" in
+        let k = key ~unit_:u.Typed.u_name ~name in
+        if not (Hashtbl.mem b.graph.nodes k) then begin
+          Hashtbl.add b.graph.nodes k
+            {
+              n_unit = u.Typed.u_name;
+              n_name = name;
+              n_source = u.Typed.u_source;
+              n_line = Typed.line_of item.Typedtree.str_loc;
+              n_col = Typed.col_of item.Typedtree.str_loc;
+              n_calls = [];
+              n_ext = [];
+            };
+          b.graph.order <- k :: b.graph.order
+        end;
+        current := node b.graph k;
+        expr_iter.Tast_iterator.expr expr_iter e;
+        current := None
+    | _ -> ()
+  and walk_module_expr prefix (me : Typedtree.module_expr) =
+    match me.Typedtree.mod_desc with
+    | Typedtree.Tmod_structure str -> walk_structure prefix str
+    | Typedtree.Tmod_constraint (me, _, _, _) -> walk_module_expr prefix me
+    | Typedtree.Tmod_functor (_, me) -> walk_module_expr prefix me
+    | _ -> ()
+  in
+  walk_structure [] u.Typed.u_structure
+
+(** Build the call graph of the given units. *)
+let build (units : Typed.unit_info list) : t =
+  let graph = { nodes = Hashtbl.create 256; order = [] } in
+  let b = { graph; ids = Hashtbl.create 64 } in
+  List.iter (fun u -> register_bindings b ~u) units;
+  List.iter (fun u -> record_uses b ~u) units;
+  graph.order <- List.rev graph.order;
+  (* edges and external refs were consed in reverse visit order *)
+  List.iter
+    (fun k ->
+      match node graph k with
+      | Some n ->
+          n.n_calls <- List.rev n.n_calls;
+          n.n_ext <- List.rev n.n_ext
+      | None -> ())
+    graph.order;
+  graph
+
+(** Reverse adjacency: callee key -> caller keys, deterministic. *)
+let callers t : (string, string list) Hashtbl.t =
+  let rev = Hashtbl.create 256 in
+  List.iter
+    (fun (n : node) ->
+      let k = key ~unit_:n.n_unit ~name:n.n_name in
+      List.iter
+        (fun callee ->
+          let prev =
+            match Hashtbl.find_opt rev callee with Some l -> l | None -> []
+          in
+          Hashtbl.replace rev callee (k :: prev))
+        n.n_calls)
+    (nodes_in_order t);
+  (* lists were consed in deterministic forward order; restore it *)
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) rev;
+  rev

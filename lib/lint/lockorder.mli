@@ -1,0 +1,13 @@
+(** Lock-order discipline ([lock-order]): every iteration whose body
+    acquires locks ([Hashtbl.replace]/[add] into a lock-named table)
+    must iterate a collection dominated by a canonical
+    [List.sort_uniq] — the deadlock-freedom argument of the
+    transaction prepare path, proven on code shape.  Silence a line
+    with [(* lint: lockorder-ok *)]. *)
+
+val rule : string
+
+val run :
+  units:Typed.unit_info list ->
+  pragmas_of:(string -> (int * string) list) ->
+  Report.finding list

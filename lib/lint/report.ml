@@ -22,8 +22,15 @@ let compare_finding a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
 
+(* [sort_uniq] over the full record: identical findings (several
+   passes or walks discovering the same fact) collapse to one;
+   distinct findings that share a location — two rules, or one rule
+   with two messages — all survive, in a fixed order. *)
 let sort findings = List.sort_uniq compare_finding findings
 
 let pp_finding ppf f =

@@ -9,11 +9,12 @@ type finding = {
 }
 
 val compare_finding : finding -> finding -> int
-(** (file, line, col, rule) order. *)
+(** (file, line, col, rule, msg) order — a total order over the whole
+    record, so sorting also identifies exact duplicates. *)
 
 val sort : finding list -> finding list
-(** Sorted and deduplicated — report order never depends on discovery
-    order. *)
+(** Sorted, and deduplicated of {e identical} findings only — report
+    order and content never depend on discovery order. *)
 
 val pp_finding : Format.formatter -> finding -> unit
 (** [file:line:col: [rule] message]. *)

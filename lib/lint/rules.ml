@@ -42,6 +42,18 @@ let pragma_allowlist =
     ("float-eq-ok", rule_float);
   ]
 
+(** Pragmas owned by the whole-program analyzer ([lint.exe analyze]):
+    token -> the analyze rule it silences.  The per-file lint accepts
+    them as known (no [unknown-pragma]) and never reports them unused
+    — whether they silence anything is the analyzer's question, not
+    this file walk's. *)
+let analyze_pragmas =
+  [
+    ("taint-ok", "effect-taint");
+    ("totality-ok", "handler-totality");
+    ("lockorder-ok", "lock-order");
+  ]
+
 (* ---------- pragma scanning (comments are not in the AST) ---------- *)
 
 type pragma = { pline : int; pname : string; mutable used : bool }
@@ -225,7 +237,8 @@ let apply_pragmas pragmas findings =
   let pragma_findings =
     List.filter_map
       (fun p ->
-        if not (List.mem_assoc p.pname pragma_allowlist) then
+        if List.mem_assoc p.pname analyze_pragmas then None
+        else if not (List.mem_assoc p.pname pragma_allowlist) then
           Some
             {
               Report.file = "";
@@ -234,7 +247,9 @@ let apply_pragmas pragmas findings =
               rule = rule_unknown_pragma;
               msg =
                 Fmt.str "unknown lint pragma %S — allowed: %s" p.pname
-                  (String.concat ", " (List.map fst pragma_allowlist));
+                  (String.concat ", "
+                     (List.map fst pragma_allowlist
+                     @ List.map fst analyze_pragmas));
             }
         else if not p.used then
           Some
@@ -266,6 +281,15 @@ let read_file path =
 let default_exempt path =
   Filename.basename path = "prng.ml"
   && Filename.basename (Filename.dirname path) = "util"
+
+(** The (line, token) pragmas of one source file — the lexical scan
+    shared with the whole-program analyzer, which anchors its own
+    findings to source lines and applies the same silencing scheme.
+    Unreadable files have no pragmas. *)
+let scan_pragma_lines path =
+  match read_file path with
+  | source -> List.map (fun p -> (p.pline, p.pname)) (scan_pragmas source)
+  | exception Sys_error _ -> []
 
 (** Lint one [.ml] file.  [exempt_effects] disables the effect-ban
     rule (defaults to the {!default_exempt} path test). *)

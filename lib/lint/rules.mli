@@ -26,8 +26,19 @@ val rule_unused_pragma : string
 val pragma_allowlist : (string * string) list
 (** Pragma token -> the rule it may silence. *)
 
+val analyze_pragmas : (string * string) list
+(** Pragma token -> the whole-program analyze rule it silences
+    ([taint-ok], [totality-ok], [lockorder-ok]).  Known to the
+    per-file lint (never [unknown-pragma] / [unused-pragma]); applied
+    by {!Analyze}. *)
+
 val default_exempt : string -> bool
 (** The one path allowed ambient effects: [lib/util/prng.ml]. *)
+
+val scan_pragma_lines : string -> (int * string) list
+(** The (line, token) lint pragmas of one source file — the shared
+    lexical scan the analyzer uses to silence its own findings.
+    Unreadable files yield []. *)
 
 val lint_file : ?exempt_effects:bool -> string -> Report.finding list
 (** Lint one [.ml] file; [exempt_effects] defaults to

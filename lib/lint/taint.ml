@@ -1,0 +1,167 @@
+(** Interprocedural effect taint.
+
+    The syntactic effect ban ({!Rules.rule_effect}) rejects a
+    [Random.int] written at the call site; it cannot see one hidden
+    behind two helper calls in another module.  This pass can: over
+    the whole-program call graph, a function is {e tainted} when it
+    directly mentions a banned effect or (transitively) calls a
+    tainted function.  Every tainted function is reported, each with
+    the shortest call chain from it to the effect — so the finding on
+    a public entry point reads as the complete explanation, not a
+    pointer into a maze.
+
+    Banned roots (resolved by defining unit, so module aliases are
+    seen through):
+    - [Stdlib__Random] — any draw from the unseeded global PRNG;
+    - [Unix] / [UnixLabels] — wall clocks, processes, fds;
+    - [Stdlib__Sys.time] — the global mutable clock.
+
+    The one sanctioned boundary is the seeded PRNG implementation
+    ({!Rules.default_exempt}): its own effects (it has none today —
+    splitmix64 is pure) are not seeds, and code reaching the effectful
+    world {e through} it is the repo's discipline, not a finding.
+
+    Pragmas: a banned use whose line (or the line above) carries
+    [(* lint: effect-ok *)] or [(* lint: taint-ok *)] is not a seed; a
+    tainted function whose definition line carries
+    [(* lint: taint-ok *)] is not reported. *)
+
+let rule = "effect-taint"
+
+type banned = { b_display : string; b_line : int; b_col : int; b_why : string }
+
+(* display is Path.name at the use site, e.g. "Stdlib.Random.int" *)
+let classify ~display =
+  (* [resolves] in callgraph records externals by display path only;
+     match on the path with the Stdlib prefix stripped *)
+  let parts = String.split_on_char '.' display in
+  let parts = match parts with "Stdlib" :: rest -> rest | p -> p in
+  match parts with
+  | "Random" :: _ ->
+      Some "ambient randomness breaks seeded reproducibility — draw through \
+            the seeded Qc_util.Prng"
+  | "Unix" :: _ | "UnixLabels" :: _ ->
+      Some "real-world effects (wall clocks, processes, fds) are banned in \
+            library code — use the simulator's virtual time"
+  | [ "Sys"; "time" ] ->
+      Some "wall-clock reads are banned in library code — use Sim.Core.now \
+            (virtual time)"
+  | _ -> None
+
+(* pragma tokens that silence a seed at its use line *)
+let seed_pragmas = [ "effect-ok"; "taint-ok" ]
+
+(** Run the pass.  [pragmas_of] returns the (line, token) pragma list
+    of a source file (the orchestrator caches the per-file scans). *)
+let run ~(graph : Callgraph.t) ~(pragmas_of : string -> (int * string) list) :
+    Report.finding list =
+  let nodes = Callgraph.nodes_in_order graph in
+  (* 1. seeds: nodes with a direct banned mention *)
+  let direct : (string, banned) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      if not (Rules.default_exempt n.Callgraph.n_source) then
+        let silenced line =
+          List.exists
+            (fun (pl, tok) ->
+              List.mem tok seed_pragmas && (pl = line || pl = line - 1))
+            (pragmas_of n.Callgraph.n_source)
+        in
+        List.iter
+          (fun (display, line, col) ->
+            match classify ~display with
+            | Some why when not (silenced line) ->
+                let k =
+                  Callgraph.key ~unit_:n.Callgraph.n_unit
+                    ~name:n.Callgraph.n_name
+                in
+                if not (Hashtbl.mem direct k) then
+                  Hashtbl.add direct k
+                    { b_display = display; b_line = line; b_col = col; b_why = why }
+            | _ -> ())
+          n.Callgraph.n_ext)
+    nodes;
+  (* 2. propagate backwards: BFS over the reverse graph from the
+     seeds, keeping, per tainted node, its successor on a shortest
+     chain to an effect.  Node order is deterministic (definition
+     order), so ties break identically on every run. *)
+  let rev = Callgraph.callers graph in
+  let succ : (string, string option) Hashtbl.t = Hashtbl.create 64 in
+  let q = Queue.create () in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      let k = Callgraph.key ~unit_:n.Callgraph.n_unit ~name:n.Callgraph.n_name in
+      if Hashtbl.mem direct k then begin
+        Hashtbl.replace succ k None;
+        Queue.add k q
+      end)
+    nodes;
+  while not (Queue.is_empty q) do
+    let k = Queue.pop q in
+    let callers = match Hashtbl.find_opt rev k with Some l -> l | None -> [] in
+    List.iter
+      (fun caller ->
+        if not (Hashtbl.mem succ caller) then begin
+          Hashtbl.replace succ caller (Some k);
+          Queue.add caller q
+        end)
+      callers
+  done;
+  (* 3. report every tainted node with its chain *)
+  let chain_of k =
+    let rec go acc k =
+      match Hashtbl.find_opt succ k with
+      | Some (Some next) -> go (k :: acc) next
+      | Some None | None -> List.rev (k :: acc)
+    in
+    go [] k
+  in
+  let display_of k =
+    match Callgraph.node graph k with
+    | Some n -> n.Callgraph.n_name
+    | None -> k
+  in
+  List.filter_map
+    (fun (n : Callgraph.node) ->
+      let k = Callgraph.key ~unit_:n.Callgraph.n_unit ~name:n.Callgraph.n_name in
+      if not (Hashtbl.mem succ k) then None
+      else
+        let def_silenced =
+          List.exists
+            (fun (pl, tok) ->
+              String.equal tok "taint-ok"
+              && (pl = n.Callgraph.n_line || pl = n.Callgraph.n_line - 1))
+            (pragmas_of n.Callgraph.n_source)
+        in
+        if def_silenced then None
+        else
+          let chain = chain_of k in
+          let last = List.nth chain (List.length chain - 1) in
+          let b =
+            match Hashtbl.find_opt direct last with
+            | Some b -> b
+            | None -> assert false
+          in
+          let links =
+            List.map display_of chain
+            @ [
+                Fmt.str "%s (%s:%d)" b.b_display
+                  (match Callgraph.node graph last with
+                  | Some l -> l.Callgraph.n_source
+                  | None -> "?")
+                  b.b_line;
+              ]
+          in
+          Some
+            {
+              Report.file = n.Callgraph.n_source;
+              line = n.Callgraph.n_line;
+              col = n.Callgraph.n_col;
+              rule;
+              msg =
+                Fmt.str "%s transitively reaches %s: %s — %s"
+                  n.Callgraph.n_name b.b_display
+                  (String.concat " -> " links)
+                  b.b_why;
+            })
+    nodes

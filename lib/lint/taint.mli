@@ -1,0 +1,14 @@
+(** Interprocedural effect taint ([effect-taint]): every function that
+    transitively reaches a banned ambient effect ([Random.*],
+    [Unix.*], [Sys.time]) is reported with the shortest call chain
+    from its definition to the effect.  The seeded-PRNG implementation
+    file is the sanctioned boundary; [(* lint: effect-ok *)] /
+    [(* lint: taint-ok *)] silence a seed at its use line, and
+    [(* lint: taint-ok *)] silences a tainted definition. *)
+
+val rule : string
+
+val run :
+  graph:Callgraph.t ->
+  pragmas_of:(string -> (int * string) list) ->
+  Report.finding list

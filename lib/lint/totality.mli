@@ -1,0 +1,15 @@
+(** Protocol handler totality ([handler-totality]): for every type
+    marked [@@lint.protocol], the bindings marked
+    [@lint.protocol_handler] / [@lint.protocol_serialize] must match
+    it wildcard-free and cover every constructor, and the bindings
+    marked [@lint.protocol_deserialize] must construct every
+    constructor — so a new frame cannot be silently dropped by either
+    side of the wire.  Silence a line with
+    [(* lint: totality-ok *)]. *)
+
+val rule : string
+
+val run :
+  units:Typed.unit_info list ->
+  pragmas_of:(string -> (int * string) list) ->
+  Report.finding list

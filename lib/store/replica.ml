@@ -490,7 +490,8 @@ let ctx_args = function None -> [] | Some cx -> Obs.Ctx.args cx
    batch frame replies when its last part has).  Non-requests get no
    reply.  [src] identifies the sender — recovery-leader bookkeeping
    (phase-1b/2b quorum counting) needs it; request handling does not. *)
-let rec serve t ?(src = "") ~(tr : Obs.Trace.t) ~reply msg =
+let[@lint.protocol_handler] rec serve t ?(src = "") ~(tr : Obs.Trace.t) ~reply
+    msg =
   match msg with
   | Protocol.Query_req { rid; key; ctx } ->
       Obs.Metrics.inc t.queries;
@@ -605,7 +606,12 @@ let rec serve t ?(src = "") ~(tr : Obs.Trace.t) ~reply msg =
               (* duplicate prepare: re-send the identical vote *)
               reply (Protocol.Txn_vote { rid; txid; yes = true; kvs = e.e_kvs })
           | None ->
-              let footprint = List.map fst writes @ reads in
+              (* canonical order: two-phase locking stays deadlock-free
+                 only if every multi-key acquisition walks one global
+                 key order (the lock-order lint proves this shape) *)
+              let footprint =
+                List.sort_uniq String.compare (List.map fst writes @ reads)
+              in
               let conflict =
                 List.exists
                   (fun k ->

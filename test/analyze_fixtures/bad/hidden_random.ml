@@ -1,0 +1,7 @@
+(* Planted taint: Random.int reaches the public surface through two
+   pure-looking helpers — the [effect-taint] pass must report the
+   whole chain, not just the direct call site. *)
+
+let roll () = Random.int 6
+let jitter base = base + roll ()
+let backoff_ms attempt = jitter (attempt * 10)

@@ -1,0 +1,10 @@
+(* Planted lock-order bug: the acquisition loop walks the caller's key
+   order, so two overlapping footprints can hold-and-wait in a cycle —
+   must be flagged by the [lock-order] pass. *)
+
+let lock_table : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let acquire_all txid keys =
+  List.iter (fun k -> Hashtbl.replace lock_table k txid) keys
+
+let release_all keys = List.iter (fun k -> Hashtbl.remove lock_table k) keys

@@ -1,0 +1,12 @@
+(* The clean counterpart of ../bad/unsorted_locks.ml: the acquisition
+   footprint is canonically sorted and deduplicated first, so the
+   global acquisition order is one total order — no hold-and-wait
+   cycle can form. *)
+
+let lock_table : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let acquire_all txid keys =
+  let footprint = List.sort_uniq String.compare keys in
+  List.iter (fun k -> Hashtbl.replace lock_table k txid) footprint
+
+let release_all keys = List.iter (fun k -> Hashtbl.remove lock_table k) keys

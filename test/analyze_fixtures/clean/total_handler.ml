@@ -1,0 +1,23 @@
+(* The clean counterpart of ../bad/wildcard_handler.ml: every
+   constructor spelled on both sides of the wire. *)
+
+type msg = Ping of int | Pong of int | Gossip of string [@@lint.protocol]
+
+let[@lint.protocol_handler] handle m =
+  match m with
+  | Ping n -> Some (Pong n)
+  | Pong _ -> None
+  | Gossip _ -> None
+
+let[@lint.protocol_serialize] to_wire m =
+  match m with
+  | Ping n -> "ping:" ^ string_of_int n
+  | Pong n -> "pong:" ^ string_of_int n
+  | Gossip s -> "gossip:" ^ s
+
+let[@lint.protocol_deserialize] of_wire s =
+  match String.split_on_char ':' s with
+  | [ "ping"; n ] -> Some (Ping (int_of_string n))
+  | [ "pong"; n ] -> Some (Pong (int_of_string n))
+  | [ "gossip"; s ] -> Some (Gossip s)
+  | _ -> None

@@ -210,6 +210,183 @@ let test_static_dynamic_cross_check () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "dynamic harness rejected seed %d: %s" seed e
 
+(* ---------- whole-program analyzer (lint.exe analyze) ---------- *)
+
+module Analyze = Lint.Analyze
+module Protocol = Store.Protocol
+module Replica = Store.Replica
+
+(* The .cmt files live under the dune build context root, at paths
+   like lib/store/.store.objs/byte.  Under `dune runtest` the cwd is
+   _build/default/test (the root is one level up); under `dune exec`
+   from the project root it is the checkout itself. *)
+let build_root =
+  if Sys.file_exists (Filename.concat "_build" "default") then
+    Filename.concat "_build" "default"
+  else ".."
+
+let analyze ?only ?exclude prefix =
+  match Analyze.run ?only ?exclude ~build_dir:build_root ~src_prefixes:[ prefix ] () with
+  | Ok findings -> findings
+  | Error e -> Alcotest.failf "analyze %s: %s" prefix e
+
+let summarize3 findings =
+  List.map (fun f -> (f.Report.file, (f.Report.line, f.Report.rule))) findings
+
+let file_line_rule = Alcotest.(list (pair string (pair int string)))
+
+let bad_prefix = "test/analyze_fixtures/bad/"
+let clean_prefix = "test/analyze_fixtures/clean/"
+
+(* Exact file:line golden findings for every planted bug — one canary
+   per pass, plus the coverage-union and deserializer obligations. *)
+let bad_golden =
+  [
+    (bad_prefix ^ "hidden_random.ml", (5, "effect-taint"));
+    (bad_prefix ^ "hidden_random.ml", (6, "effect-taint"));
+    (bad_prefix ^ "hidden_random.ml", (7, "effect-taint"));
+    (bad_prefix ^ "unsorted_locks.ml", (8, "lock-order"));
+    (bad_prefix ^ "wildcard_handler.ml", (7, "handler-totality"));
+    (bad_prefix ^ "wildcard_handler.ml", (10, "handler-totality"));
+    (bad_prefix ^ "wildcard_handler.ml", (18, "handler-totality"));
+  ]
+
+let test_analyze_bad_golden () =
+  Alcotest.check file_line_rule "planted bugs, exact file:line" bad_golden
+    (summarize3 (analyze bad_prefix))
+
+let test_analyze_clean_fixture () =
+  Alcotest.check file_line_rule "clean mirror tree" []
+    (summarize3 (analyze clean_prefix))
+
+(* The analyze gate itself: the repo's own lib/ tree passes all three
+   whole-program passes. *)
+let test_analyze_repo_clean () =
+  match analyze "lib/" with
+  | [] -> ()
+  | findings -> Alcotest.failf "lib/ not clean:\n%s" (Report.to_text findings)
+
+(* --only / --exclude keep exactly the selected rules, and removing a
+   pass makes its canary go green. *)
+let test_analyze_rule_filters () =
+  let only_lock = analyze ~only:[ "lock-order" ] bad_prefix in
+  Alcotest.check file_line_rule "--only lock-order"
+    [ (bad_prefix ^ "unsorted_locks.ml", (8, "lock-order")) ]
+    (summarize3 only_lock);
+  let without_taint = analyze ~exclude:[ "effect-taint" ] bad_prefix in
+  Alcotest.(check bool) "--exclude effect-taint greens its canary" true
+    (List.for_all (fun f -> f.Report.rule <> "effect-taint") without_taint);
+  Alcotest.(check int) "--exclude drops only that rule" 4
+    (List.length without_taint)
+
+(* Report determinism: any input permutation sorts to the same report,
+   and duplicate findings collapse. *)
+let test_report_shuffle_regression () =
+  let findings = analyze bad_prefix in
+  let sorted = Report.sort findings in
+  List.iteri
+    (fun i seed ->
+      let shuffled = Prng.shuffle (Prng.create seed) (findings @ findings) in
+      Alcotest.check file_line_rule
+        (Fmt.str "shuffle %d resorts and dedupes" i)
+        (summarize3 sorted)
+        (summarize3 (Report.sort shuffled)))
+    [ 1; 42; 0xbeef ]
+
+(* ---------- static verdict vs dynamic fuzz ---------- *)
+
+(* A generator over the full wire protocol, batches included.  The
+   analyzer proved [Replica.serve] and the codec total over
+   [Protocol.msg]; fuzzing random frames through them cross-checks the
+   static verdict dynamically. *)
+let gen_key = QCheck.Gen.oneofl [ "a"; "b"; "k1"; "k2" ]
+let gen_id = QCheck.Gen.oneofl [ "t1"; "t2"; "t3" ]
+
+let gen_ctx st =
+  if QCheck.Gen.bool st then
+    Some (Obs.Ctx.make ~op:(QCheck.Gen.oneofl [ "read"; "write" ] st)
+            ~parent:(QCheck.Gen.int_bound 99 st))
+  else None
+
+let gen_kv st = (gen_key st, QCheck.Gen.int_bound 9 st)
+
+let gen_kvv st =
+  (gen_key st, QCheck.Gen.int_bound 9 st, QCheck.Gen.int_bound 99 st)
+
+let gen_small_list g st =
+  QCheck.Gen.list_size (QCheck.Gen.int_bound 3) g st
+
+let rec gen_msg depth st : Protocol.msg =
+  let open QCheck.Gen in
+  let rid = int_bound 99 st in
+  let key = gen_key st in
+  let txid = gen_id st in
+  let bal = int_bound 5 st in
+  match int_bound (if depth > 0 then 13 else 11) st with
+  | 0 -> Protocol.Query_req { rid; key; ctx = gen_ctx st }
+  | 1 -> Protocol.Query_rep { rid; key; vn = int_bound 9 st; value = int_bound 99 st }
+  | 2 ->
+      Protocol.Install_req
+        { rid; key; vn = int_bound 9 st; value = int_bound 99 st; ctx = gen_ctx st }
+  | 3 -> Protocol.Install_ack { rid; key }
+  | 4 ->
+      Protocol.Txn_prepare
+        {
+          rid; txid;
+          writes = gen_small_list gen_kv st;
+          reads = gen_small_list gen_key st;
+          acceptors = gen_small_list gen_id st;
+          paxos = bool st;
+          ctx = gen_ctx st;
+        }
+  | 5 ->
+      Protocol.Txn_vote
+        { rid; txid; yes = bool st; kvs = gen_small_list gen_kvv st }
+  | 6 -> Protocol.Txn_p1a { rid; txid; bal }
+  | 7 ->
+      let accepted =
+        if bool st then Some (bal, bool st, gen_small_list gen_kvv st) else None
+      in
+      Protocol.Txn_p1b { rid; txid; bal; ok = bool st; accepted }
+  | 8 ->
+      Protocol.Txn_p2a
+        { rid; txid; bal; commit = bool st;
+          writes = gen_small_list gen_kvv st; ctx = gen_ctx st }
+  | 9 -> Protocol.Txn_p2b { rid; txid; bal; ok = bool st }
+  | 10 ->
+      Protocol.Txn_decide
+        { rid; txid; commit = bool st;
+          writes = gen_small_list gen_kvv st; ctx = gen_ctx st }
+  | 11 -> Protocol.Txn_decide_ack { rid; txid; applied = bool st }
+  | 12 -> Protocol.Batch_req { rid; reqs = gen_small_list (gen_msg (depth - 1)) st }
+  | _ -> Protocol.Batch_rep { rid; reps = gen_small_list (gen_msg (depth - 1)) st }
+
+let arb_msg =
+  QCheck.make ~print:(fun m -> Protocol.to_wire m) (gen_msg 2)
+
+(* The codec the totality pass certified round-trips every frame. *)
+let prop_wire_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"wire codec round-trips random frames"
+    arb_msg
+    (fun m ->
+      match Protocol.of_wire (Protocol.to_wire m) with
+      | Ok m' -> m' = m
+      | Error e -> QCheck.Test.fail_reportf "decode error: %s" e)
+
+(* The handler the totality pass certified dispatches every frame
+   without a match failure (or any other escape). *)
+let prop_handler_total =
+  QCheck.Test.make ~count:300 ~name:"replica handles every random frame"
+    arb_msg
+    (fun m ->
+      let t = Replica.create ~name:"fuzz" () in
+      let tr = Obs.Trace.create ~enabled:false () in
+      match Replica.handle_one t ~tr m with
+      | _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "handle_one raised %s"
+            (Printexc.to_string e))
+
 let qcheck t =
   QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t
 
@@ -232,6 +409,21 @@ let suites =
         Alcotest.test_case "text and json reporters" `Quick test_reporters;
         Alcotest.test_case "repo lib/ is lint-clean" `Quick
           test_repo_lib_clean;
+      ] );
+    ( "lint.analyze",
+      [
+        Alcotest.test_case "planted canaries, exact file:line" `Quick
+          test_analyze_bad_golden;
+        Alcotest.test_case "clean mirror tree is empty" `Quick
+          test_analyze_clean_fixture;
+        Alcotest.test_case "repo lib/ passes all passes" `Quick
+          test_analyze_repo_clean;
+        Alcotest.test_case "--only/--exclude rule filters" `Quick
+          test_analyze_rule_filters;
+        Alcotest.test_case "report shuffle regression" `Quick
+          test_report_shuffle_regression;
+        qcheck prop_wire_roundtrip;
+        qcheck prop_handler_total;
       ] );
     ( "lint.quorum",
       [
